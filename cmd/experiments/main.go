@@ -1,0 +1,156 @@
+// Command experiments regenerates every figure panel of the paper's
+// evaluation (Fig. 1 a–d), the in-text headline gain claims, and the
+// MiniCast coverage-vs-NTX characterization.
+//
+// Examples:
+//
+//	experiments -panel all -iters 100
+//	experiments -panel fig1a -iters 2000        # paper-scale repetitions
+//	experiments -panel coverage
+//	experiments -panel fig1c -csv > dcube.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iotmpc/internal/experiment"
+	"iotmpc/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		panel = fs.String("panel", "all",
+			"panel: fig1a, fig1b, fig1c, fig1d, gains, coverage, baseline, scalability, all")
+		iters = fs.Int("iters", 50, "Monte-Carlo iterations per point (paper: 2000)")
+		seed  = fs.Int64("seed", 1, "randomness seed")
+		csv   = fs.Bool("csv", false, "emit CSV instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	needFlockLab := *panel == "fig1a" || *panel == "fig1b" || *panel == "gains" || *panel == "all"
+	needDCube := *panel == "fig1c" || *panel == "fig1d" || *panel == "gains" || *panel == "all"
+	needCoverage := *panel == "coverage" || *panel == "all"
+	needBaseline := *panel == "baseline" || *panel == "all"
+	needScalability := *panel == "scalability" || *panel == "all"
+	if !needFlockLab && !needDCube && !needCoverage && !needBaseline && !needScalability {
+		return fmt.Errorf("unknown panel %q", *panel)
+	}
+
+	var flockRes, dcubeRes *experiment.SweepResult
+	var err error
+	if needFlockLab {
+		flockRes, err = experiment.RunSweep(experiment.FlockLabSweep(*iters, *seed))
+		if err != nil {
+			return fmt.Errorf("flocklab sweep: %w", err)
+		}
+	}
+	if needDCube {
+		dcubeRes, err = experiment.RunSweep(experiment.DCubeSweep(*iters, *seed))
+		if err != nil {
+			return fmt.Errorf("dcube sweep: %w", err)
+		}
+	}
+
+	switch {
+	case *csv && flockRes != nil && dcubeRes != nil:
+		fmt.Print(flockRes.CSV())
+		// Skip the duplicate header on the second sweep.
+		csvBody := dcubeRes.CSV()
+		if idx := indexAfterFirstLine(csvBody); idx > 0 {
+			fmt.Print(csvBody[idx:])
+		}
+		return nil
+	case *csv && flockRes != nil:
+		fmt.Print(flockRes.CSV())
+		return nil
+	case *csv && dcubeRes != nil:
+		fmt.Print(dcubeRes.CSV())
+		return nil
+	}
+
+	printPanel := func(id string, res *experiment.SweepResult, m experiment.Metric) {
+		if res == nil {
+			return
+		}
+		if *panel == id || *panel == "all" {
+			fmt.Printf("== Fig 1(%s) ==\n%s\n", id[len("fig1"):], res.Table(m))
+		}
+	}
+	printPanel("fig1a", flockRes, experiment.Latency)
+	printPanel("fig1b", flockRes, experiment.RadioOn)
+	printPanel("fig1c", dcubeRes, experiment.Latency)
+	printPanel("fig1d", dcubeRes, experiment.RadioOn)
+
+	if *panel == "gains" || *panel == "all" {
+		if err := printGains(flockRes, dcubeRes); err != nil {
+			return err
+		}
+	}
+	if needBaseline {
+		rows, err := experiment.BaselineComparison(*iters, *seed)
+		if err != nil {
+			return fmt.Errorf("baseline comparison: %w", err)
+		}
+		fmt.Println(experiment.BaselineTable(rows))
+	}
+	if needScalability {
+		points, err := experiment.ScalabilitySweep([]int{15, 25, 40, 60}, *iters, *seed)
+		if err != nil {
+			return fmt.Errorf("scalability sweep: %w", err)
+		}
+		fmt.Println(experiment.ScalabilityTable(points))
+	}
+	if needCoverage {
+		for _, tb := range []topology.Topology{topology.FlockLab(), topology.DCube()} {
+			pts, err := experiment.CoverageCurve(tb, []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16}, *iters, *seed)
+			if err != nil {
+				return fmt.Errorf("coverage curve %s: %w", tb.Name, err)
+			}
+			fmt.Println(experiment.CoverageTable(tb.Name, pts))
+		}
+	}
+	return nil
+}
+
+func printGains(flockRes, dcubeRes *experiment.SweepResult) error {
+	fmt.Println("== Full-network gains (paper: FlockLab >=6x latency / 7x radio; DCube 9x / 10x) ==")
+	for _, entry := range []struct {
+		name string
+		res  *experiment.SweepResult
+	}{
+		{"flocklab", flockRes},
+		{"dcube", dcubeRes},
+	} {
+		if entry.res == nil {
+			continue
+		}
+		lat, radio, err := entry.res.FullNetworkGains()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s latency %.2fx   radio-on %.2fx\n", entry.name, lat, radio)
+	}
+	fmt.Println()
+	return nil
+}
+
+func indexAfterFirstLine(s string) int {
+	for i, c := range s {
+		if c == '\n' {
+			return i + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+func TestRunUnknownPanel(t *testing.T) {
+	if err := run([]string{"-panel", "fig9z"}); err == nil {
+		t.Error("unknown panel accepted")
+	}
+}
+
+func TestRunSinglePanelTinyIters(t *testing.T) {
+	if err := run([]string{"-panel", "fig1a", "-iters", "1"}); err != nil {
+		t.Fatalf("fig1a: %v", err)
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	if err := run([]string{"-panel", "fig1a", "-iters", "1", "-csv"}); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+}
+
+func TestRunGainsPanel(t *testing.T) {
+	if err := run([]string{"-panel", "gains", "-iters", "1"}); err != nil {
+		t.Fatalf("gains: %v", err)
+	}
+}
+
+func TestRunBaselinePanel(t *testing.T) {
+	if err := run([]string{"-panel", "baseline", "-iters", "1"}); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+}
+
+func TestRunScalabilityPanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep bootstraps four network sizes")
+	}
+	if err := run([]string{"-panel", "scalability", "-iters", "1"}); err != nil {
+		t.Fatalf("scalability: %v", err)
+	}
+}
+
+func TestRunCoveragePanel(t *testing.T) {
+	if err := run([]string{"-panel", "coverage", "-iters", "1"}); err != nil {
+		t.Fatalf("coverage: %v", err)
+	}
+}
+
+func TestRunCSVSinglePanelDCube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dcube sweep")
+	}
+	if err := run([]string{"-panel", "fig1c", "-iters", "1", "-csv"}); err != nil {
+		t.Fatalf("fig1c csv: %v", err)
+	}
+}
+
+func TestIndexAfterFirstLine(t *testing.T) {
+	if got := indexAfterFirstLine("a\nb"); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+	if got := indexAfterFirstLine("abc"); got != -1 {
+		t.Errorf("no newline: got %d, want -1", got)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("flag parse error not propagated")
+	}
+}

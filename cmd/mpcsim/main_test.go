@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPickTestbed(t *testing.T) {
+	tests := []struct {
+		name    string
+		nodes   int
+		wantErr bool
+	}{
+		{"flocklab", 26, false},
+		{"FLOCKLAB", 26, false},
+		{"dcube", 45, false},
+		{"grid", 20, false},
+		{"line", 10, false},
+		{"mars", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			top, err := pickTestbed(tt.name)
+			if tt.wantErr {
+				if err == nil {
+					t.Error("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if top.NumNodes() != tt.nodes {
+				t.Errorf("nodes = %d, want %d", top.NumNodes(), tt.nodes)
+			}
+		})
+	}
+}
+
+func TestPickProtocol(t *testing.T) {
+	if p, err := pickProtocol("S3"); err != nil || p.String() != "S3" {
+		t.Errorf("S3: %v %v", p, err)
+	}
+	if p, err := pickProtocol("s4"); err != nil || p.String() != "S4" {
+		t.Errorf("s4: %v %v", p, err)
+	}
+	if _, err := pickProtocol("s5"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunSmallConfiguration(t *testing.T) {
+	err := run([]string{"-testbed", "grid", "-protocol", "s4", "-sources", "8",
+		"-degree", "3", "-iters", "2"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-testbed", "nope"},
+		{"-protocol", "nope"},
+		{"-sources", "999"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("flag parse error not propagated")
+	}
+}
+
+func TestRunHEProtocol(t *testing.T) {
+	if err := run([]string{"-testbed", "grid", "-protocol", "he", "-sources", "6", "-iters", "1"}); err != nil {
+		t.Fatalf("he: %v", err)
+	}
+}
+
+func TestRunTraceMode(t *testing.T) {
+	err := run([]string{"-testbed", "grid", "-protocol", "s4", "-sources", "8",
+		"-degree", "3", "-iters", "1", "-trace"})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+}
+
+func TestRunVerboseOutput(t *testing.T) {
+	// Verbose mode exercises the per-iteration printing path.
+	if err := run([]string{"-testbed", "line", "-protocol", "s3", "-sources", "4",
+		"-degree", "2", "-iters", "1", "-v"}); err != nil {
+		if !strings.Contains(err.Error(), "bootstrap") {
+			t.Fatalf("run -v: %v", err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: ten IoT nodes privately compute the sum of their secrets using
+// the scalable SSS-over-CT protocol (S4) on a synthetic deployment. No node
+// ever sees another node's secret; every node ends up with the sum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotmpc/internal/core"
+	"iotmpc/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 10-node deployment scattered over a 100 m × 60 m site.
+	testbed, err := topology.RandomGeometric(10, 100, 60, 42)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Topology:    testbed,
+		Protocol:    core.S4,
+		Sources:     []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, // everyone contributes
+		Degree:      3,                                   // up to 3 colluding nodes learn nothing
+		NTXSharing:  6,
+		DestSlack:   2,
+		ChannelSeed: 7,
+	}
+
+	// Bootstrapping: probe the radio environment, pick share destinations.
+	boot, err := core.RunBootstrap(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bootstrapped: %d nodes, destinations %v\n",
+		testbed.NumNodes(), boot.Dests)
+
+	// One aggregation round: share → locally sum → re-share → interpolate.
+	res, err := core.RunRound(boot, 0)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("plaintext sum (ground truth): %v\n", res.Expected)
+	fmt.Printf("nodes with correct aggregate: %d/%d\n",
+		res.CorrectNodes, testbed.NumNodes())
+	fmt.Printf("mean latency: %v   mean radio-on time: %v\n",
+		res.MeanLatency, res.MeanRadioOn)
+	return nil
+}

@@ -1,0 +1,80 @@
+// Smart metering: the motivating workload from the paper's introduction.
+// A neighborhood of smart meters reports aggregate consumption every period
+// without any meter (or the utility) learning an individual household's
+// reading. Runs several metering periods and tracks the energy cost of the
+// protocol itself via the radio-charge model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"iotmpc/internal/core"
+	"iotmpc/internal/phy"
+	"iotmpc/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 16 meters along two suburban streets.
+	meters, err := topology.Grid(2, 8, 32)
+	if err != nil {
+		return err
+	}
+	meters.Name = "suburb"
+	n := meters.NumNodes()
+
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	cfg := core.Config{
+		Topology:    meters,
+		Protocol:    core.S4,
+		Sources:     sources,
+		Degree:      5, // 5-household collusion threshold
+		NTXSharing:  6,
+		DestSlack:   2,
+		ChannelSeed: 3,
+	}
+	boot, err := core.RunBootstrap(cfg)
+	if err != nil {
+		return err
+	}
+
+	params := phy.DefaultParams()
+	readings := rand.New(rand.NewSource(11))
+	fmt.Printf("%d smart meters, collusion threshold %d, %d metering periods\n\n",
+		n, cfg.Degree, 4)
+	for period := uint64(0); period < 4; period++ {
+		// This period's consumption per household, in watt-hours.
+		values := make(map[int]uint64, n)
+		for _, meter := range sources {
+			values[meter] = 200 + uint64(readings.Intn(1300))
+		}
+		res, err := core.RunRoundWithSecrets(boot, period, values)
+		if err != nil {
+			return err
+		}
+		// Per-period protocol energy at the worst-off meter (battery
+		// lifetime is set by the busiest node).
+		var maxOn = res.RadioOn[0]
+		for _, on := range res.RadioOn[1:] {
+			if on > maxOn {
+				maxOn = on
+			}
+		}
+		charge := params.ChargeMicroCoulombs(0, maxOn) // conservative: all-rx rate
+		fmt.Printf("period %d: neighborhood consumption %v Wh  (correct at %d/%d meters,"+
+			" latency %v, worst-node charge %.0f µC)\n",
+			period, res.Expected, res.CorrectNodes, n, res.MeanLatency, charge)
+	}
+	fmt.Println("\nno individual reading ever left a meter unencrypted ✓")
+	return nil
+}

@@ -1,0 +1,187 @@
+package iotmpc_test
+
+import (
+	"testing"
+	"time"
+
+	"iotmpc/internal/core"
+	"iotmpc/internal/experiment"
+	"iotmpc/internal/field"
+	"iotmpc/internal/hepda"
+	"iotmpc/internal/phy"
+	"iotmpc/internal/shamir"
+	"iotmpc/internal/sim"
+	"iotmpc/internal/timesync"
+	"iotmpc/internal/topology"
+	"iotmpc/internal/trace"
+)
+
+// TestEndToEndCampaign exercises the full stack the way a deployment would
+// use it: commission once, then run many metering periods with real
+// readings, verifiable sharing, and tracing — all on the FlockLab model.
+func TestEndToEndCampaign(t *testing.T) {
+	testbed := topology.FlockLab()
+	n := testbed.NumNodes()
+	sources, err := experiment.SpreadSources(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Topology:    testbed,
+		Protocol:    core.S4,
+		Sources:     sources,
+		NTXSharing:  6,
+		DestSlack:   2,
+		ChannelSeed: 99,
+		Verifiable:  true,
+	}
+	boot, err := core.RunBootstrap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := sim.NewRNG(99, 0xF00D)
+	for period := uint64(0); period < 3; period++ {
+		readings := make(map[int]uint64, n)
+		var want uint64
+		for _, s := range sources {
+			v := 100 + uint64(rng.Intn(900))
+			readings[s] = v
+			want += v
+		}
+		var rec trace.Recorder
+		res, err := core.RunRoundTraced(boot, period, readings, &rec)
+		if err != nil {
+			t.Fatalf("period %d: %v", period, err)
+		}
+		if res.Expected != field.New(want) {
+			t.Fatalf("period %d: expected sum %v, want %d", period, res.Expected, want)
+		}
+		if res.CorrectNodes < n-1 {
+			t.Errorf("period %d: %d/%d nodes correct", period, res.CorrectNodes, n)
+		}
+		if res.VerifiedShares == 0 {
+			t.Errorf("period %d: nothing verified", period)
+		}
+		if rec.Len() == 0 {
+			t.Errorf("period %d: empty trace", period)
+		}
+	}
+}
+
+// TestEndToEndSSSMatchesHEOnSameWorkload cross-checks the two PPDA families:
+// with the same sources, both must compute exact sums of what was delivered.
+func TestEndToEndSSSMatchesHEOnSameWorkload(t *testing.T) {
+	testbed := topology.FlockLab()
+	sources := make([]int, testbed.NumNodes())
+	for i := range sources {
+		sources[i] = i
+	}
+
+	sssCfg := core.Config{
+		Topology:    testbed,
+		Protocol:    core.S4,
+		Sources:     sources,
+		NTXSharing:  6,
+		DestSlack:   1,
+		ChannelSeed: 5,
+	}
+	boot, err := core.RunBootstrap(sssCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sssRes, err := core.RunRound(boot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sssRes.CorrectNodes == 0 {
+		t.Fatal("SSS round failed entirely")
+	}
+
+	heRes, err := hepda.RunRound(hepda.Config{
+		Topology:    testbed,
+		Sources:     sources,
+		ChannelSeed: 5,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heRes.Correct {
+		t.Error("HE round decrypted a wrong aggregate")
+	}
+	// SSS is collector-free and must beat HE's crypto-bound latency.
+	if sssRes.MeanLatency >= heRes.MeanLatency {
+		t.Errorf("S4 latency %v not below HE %v", sssRes.MeanLatency, heRes.MeanLatency)
+	}
+}
+
+// TestSlotSyncAssumptionHolds ties internal/timesync to the TDMA abstraction
+// used by the CT transport: at per-round resync cadence on both testbeds,
+// worst-case sync error must stay within the guard interval.
+func TestSlotSyncAssumptionHolds(t *testing.T) {
+	for _, tb := range []topology.Topology{topology.FlockLab(), topology.DCube()} {
+		ch, err := tb.Channel(phy.DefaultParams(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := timesync.Simulate(timesync.Config{
+			Channel:        ch,
+			Initiator:      0,
+			NTX:            6,
+			ResyncInterval: 2 * time.Second,
+			Rounds:         8,
+		}, sim.NewRNG(1, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.WithinGuard() {
+			t.Errorf("%s: worst sync error %v exceeds guard %v — TDMA abstraction unsound",
+				tb.Name, rep.WorstError(), rep.GuardInterval)
+		}
+	}
+}
+
+// TestRefreshedSharesStillAggregate combines proactive refresh with the
+// aggregation algebra: refreshing standing shares between epochs must not
+// disturb sums.
+func TestRefreshedSharesStillAggregate(t *testing.T) {
+	rng := sim.NewRNG(7, 1)
+	const degree, n = 3, 10
+	points := shamir.PublicPoints(n)
+
+	secretA := field.New(1111)
+	secretB := field.New(2222)
+	sharesA, err := shamir.Split(secretA, degree, points, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharesB, err := shamir.Split(secretB, degree, points, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch rollover on both share sets.
+	sharesA, err = shamir.RefreshEpoch(sharesA, degree, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharesB, err = shamir.RefreshEpoch(sharesB, degree, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate post-refresh.
+	sums := make([]shamir.Share, degree+1)
+	for j := range sums {
+		agg, err := shamir.AggregateShares([]shamir.Share{sharesA[j], sharesB[j]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[j] = agg
+	}
+	got, err := shamir.Reconstruct(sums, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != field.New(3333) {
+		t.Errorf("post-refresh aggregate = %v, want 3333", got)
+	}
+}

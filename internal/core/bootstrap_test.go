@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"iotmpc/internal/topology"
+)
+
+func TestBootstrapFlockLabS4(t *testing.T) {
+	cfg := flockConfig(S4)
+	boot, err := RunBootstrap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := boot.Config()
+	wantDests := norm.Degree + 1 + norm.DestSlack
+	if len(boot.Dests) != wantDests {
+		t.Errorf("dests = %d, want %d", len(boot.Dests), wantDests)
+	}
+	if boot.NTXFull <= norm.NTXSharing {
+		t.Errorf("NTXFull %d not above low NTX %d: the naive protocol must pay more",
+			boot.NTXFull, norm.NTXSharing)
+	}
+	for i, rel := range boot.Reliability {
+		if rel < minReliability {
+			t.Errorf("dest %d reliability %.2f below %.2f", boot.Dests[i], rel, minReliability)
+		}
+		if i > 0 && rel > boot.Reliability[i-1] {
+			t.Errorf("reliability not sorted descending at %d", i)
+		}
+	}
+	seen := make(map[int]struct{})
+	for _, d := range boot.Dests {
+		if _, dup := seen[d]; dup {
+			t.Errorf("duplicate destination %d", d)
+		}
+		seen[d] = struct{}{}
+	}
+}
+
+func TestBootstrapS3SkipsDests(t *testing.T) {
+	boot, err := RunBootstrap(flockConfig(S3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot.Dests != nil {
+		t.Error("S3 bootstrap computed a destination set")
+	}
+	if boot.NTXFull < boot.Diameter {
+		t.Errorf("NTXFull %d below diameter %d", boot.NTXFull, boot.Diameter)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	a, err := RunBootstrap(flockConfig(S4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBootstrap(flockConfig(S4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NTXFull != b.NTXFull {
+		t.Errorf("NTXFull differs: %d vs %d", a.NTXFull, b.NTXFull)
+	}
+	for i := range a.Dests {
+		if a.Dests[i] != b.Dests[i] {
+			t.Fatalf("dest %d differs: %d vs %d", i, a.Dests[i], b.Dests[i])
+		}
+	}
+}
+
+func TestBootstrapInfeasibleLowNTX(t *testing.T) {
+	// A long line at NTX=1: data reaches only immediate neighbors, so no
+	// common destination set covering all sources can exist.
+	line, err := topology.Line(20, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Topology:    line,
+		Protocol:    S4,
+		Sources:     sourcesUpTo(20),
+		Degree:      6,
+		NTXSharing:  1,
+		ChannelSeed: 1,
+	}
+	if _, err := RunBootstrap(cfg); !errors.Is(err, ErrBootstrap) {
+		t.Errorf("error = %v, want ErrBootstrap", err)
+	}
+}
+
+func TestBootstrapDisconnectedTopology(t *testing.T) {
+	// Two nodes 100 km apart cannot form a network.
+	far, err := topology.Line(2, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topology.Topology{Name: "islands", Positions: far.Positions}
+	cfg := Config{
+		Topology:    top,
+		Protocol:    S3,
+		Sources:     []int{0, 1},
+		Degree:      1,
+		ChannelSeed: 1,
+	}
+	if _, err := RunBootstrap(cfg); !errors.Is(err, ErrBootstrap) {
+		t.Errorf("error = %v, want ErrBootstrap", err)
+	}
+}
+
+func TestBootstrapDCubeUsesHigherNTXFullThanFlockLab(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap probing on both testbeds")
+	}
+	fl, err := RunBootstrap(flockConfig(S3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcCfg := Config{
+		Topology:    topology.DCube(),
+		Protocol:    S3,
+		Sources:     sourcesUpTo(45),
+		NTXSharing:  5,
+		ChannelSeed: 1,
+	}
+	dc, err := RunBootstrap(dcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.NTXFull <= fl.NTXFull {
+		t.Errorf("DCube NTXFull %d <= FlockLab %d; deeper network must need more",
+			dc.NTXFull, fl.NTXFull)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"iotmpc/internal/topology"
+)
+
+func sourcesUpTo(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func flockConfig(proto Protocol) Config {
+	return Config{
+		Topology:    topology.FlockLab(),
+		Protocol:    proto,
+		Sources:     sourcesUpTo(26),
+		NTXSharing:  6,
+		DestSlack:   1,
+		ChannelSeed: 1,
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	tests := []struct {
+		p    Protocol
+		want string
+	}{
+		{S3, "S3"},
+		{S4, "S4"},
+		{Protocol(9), "Protocol(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.p), got, tt.want)
+		}
+	}
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	cfg := flockConfig(S4)
+	cfg.Degree = 0
+	cfg.NTXSharing = 0
+	norm, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Degree != 26/3 {
+		t.Errorf("default degree = %d, want %d", norm.Degree, 26/3)
+	}
+	if norm.NTXSharing != 6 {
+		t.Errorf("default NTX = %d, want 6", norm.NTXSharing)
+	}
+	if norm.CPU == (CPUModel{}) {
+		t.Error("CPU model not defaulted")
+	}
+}
+
+func TestConfigNormalizeErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no sources", func(c *Config) { c.Sources = nil }},
+		{"source out of range", func(c *Config) { c.Sources = []int{30} }},
+		{"duplicate source", func(c *Config) { c.Sources = []int{1, 1} }},
+		{"bad protocol", func(c *Config) { c.Protocol = Protocol(0) }},
+		{"degree too high", func(c *Config) { c.Degree = 26 }},
+		{"negative degree", func(c *Config) { c.Degree = -1 }},
+		{"negative ntx", func(c *Config) { c.NTXSharing = -1 }},
+		{"negative slack", func(c *Config) { c.DestSlack = -1 }},
+		{"slack overflow", func(c *Config) { c.Degree = 20; c.DestSlack = 10 }},
+		{"bad initiator", func(c *Config) { c.Initiator = 26 }},
+		{"failed wrong size", func(c *Config) { c.Failed = []bool{true} }},
+		{"failed source", func(c *Config) {
+			c.Failed = make([]bool, 26)
+			c.Failed[3] = true
+		}},
+		{"failed initiator", func(c *Config) {
+			c.Sources = []int{5}
+			c.Failed = make([]bool, 26)
+			c.Failed[0] = true
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := flockConfig(S4)
+			tt.mutate(&cfg)
+			if _, err := cfg.normalized(); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("error = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestCPUModelScaling(t *testing.T) {
+	m := DefaultCPUModel()
+	if m.ShareGeneration(8, 10) <= m.ShareGeneration(8, 5) {
+		t.Error("share generation cost not increasing in destinations")
+	}
+	if m.SumAbsorb(20) <= m.SumAbsorb(5) {
+		t.Error("absorb cost not increasing in shares")
+	}
+	if m.Interpolation(16) <= m.Interpolation(9) {
+		t.Error("interpolation cost not increasing in points")
+	}
+}

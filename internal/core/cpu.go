@@ -1,0 +1,65 @@
+package core
+
+import "time"
+
+// CPUModel accounts on-node computation latency. The nRF52840's Cortex-M4
+// with the CryptoCell AES peripheral makes per-packet crypto cheap but not
+// free; field arithmetic for Lagrange interpolation runs in software. These
+// costs are orders of magnitude below the communication times, but modeling
+// them keeps the latency metric honest end-to-end.
+type CPUModel struct {
+	// SealPacket is the cost to encrypt+MAC one share packet.
+	SealPacket time.Duration
+	// OpenPacket is the cost to verify+decrypt one share packet.
+	OpenPacket time.Duration
+	// FieldMul is the cost of one GF(p) multiplication in software.
+	FieldMul time.Duration
+	// PolyEvalPerTerm is the per-coefficient cost of a Horner step.
+	PolyEvalPerTerm time.Duration
+	// VSSExpTerm is the cost of one 512-bit group exponentiation with a
+	// 61-bit exponent in software (verifiable mode only).
+	VSSExpTerm time.Duration
+}
+
+// DefaultCPUModel returns nRF52840-scale figures (hardware AES, 64 MHz M4).
+func DefaultCPUModel() CPUModel {
+	return CPUModel{
+		SealPacket:      8 * time.Microsecond,
+		OpenPacket:      8 * time.Microsecond,
+		FieldMul:        2 * time.Microsecond,
+		PolyEvalPerTerm: 3 * time.Microsecond,
+		VSSExpTerm:      3 * time.Millisecond,
+	}
+}
+
+// VSSCommit is a dealer's cost to commit to a degree-k polynomial: one group
+// exponentiation per coefficient.
+func (m CPUModel) VSSCommit(degree int) time.Duration {
+	return time.Duration(degree+1) * m.VSSExpTerm
+}
+
+// VSSVerify is a holder's cost to verify one share: degree+2 exponentiations
+// (one per commitment term plus the share side).
+func (m CPUModel) VSSVerify(degree int) time.Duration {
+	return time.Duration(degree+2) * m.VSSExpTerm
+}
+
+// ShareGeneration is the cost for a source to evaluate its degree-k
+// polynomial at m points and seal m packets.
+func (m CPUModel) ShareGeneration(degree, dests int) time.Duration {
+	evalCost := time.Duration(degree+1) * m.PolyEvalPerTerm * time.Duration(dests)
+	return evalCost + time.Duration(dests)*m.SealPacket
+}
+
+// SumAbsorb is the cost for a destination to open and accumulate s shares.
+func (m CPUModel) SumAbsorb(shares int) time.Duration {
+	return time.Duration(shares) * (m.OpenPacket + m.FieldMul/2)
+}
+
+// Interpolation is the cost of Lagrange reconstruction from k+1 points:
+// O((k+1)²) field multiplications plus one inversion per point, which the
+// Fermat ladder makes ~61·2 multiplications each.
+func (m CPUModel) Interpolation(points int) time.Duration {
+	muls := points*points + points*122
+	return time.Duration(muls) * m.FieldMul
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iotmpc/internal/field"
+	"iotmpc/internal/minicast"
+	"iotmpc/internal/seckey"
+	"iotmpc/internal/shamir"
+	"iotmpc/internal/sim"
+	"iotmpc/internal/trace"
+	"iotmpc/internal/vss"
+)
+
+// RoundResult reports one full private-aggregation round.
+type RoundResult struct {
+	// Expected is the plaintext Σ secrets of the sources (ground truth the
+	// simulation can see; the nodes never do).
+	Expected field.Element
+	// Aggregate[i] is node i's reconstructed aggregate (valid iff NodeOK[i]).
+	Aggregate []field.Element
+	// NodeOK[i] reports whether node i obtained a correct aggregate.
+	NodeOK []bool
+	// CorrectNodes counts nodes with a correct aggregate.
+	CorrectNodes int
+	// Latency[i] is the end-to-end time until node i held the aggregate
+	// (-1 if it failed).
+	Latency []time.Duration
+	// MeanLatency / MaxLatency summarize Latency over successful nodes.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+	// RadioOn[i] is node i's radio-on time across both phases.
+	RadioOn []time.Duration
+	// MeanRadioOn averages RadioOn over all nodes.
+	MeanRadioOn time.Duration
+	// Phase diagnostics.
+	SharingDuration time.Duration
+	ReconDuration   time.Duration
+	SharingChainLen int
+	ReconChainLen   int
+	NTXUsed         int
+	// VerifiedShares / UnverifiedShares report verifiable-mode coverage:
+	// shares checked against a received commitment vs. absorbed
+	// optimistically because the commitment chain missed the destination.
+	VerifiedShares   int
+	UnverifiedShares int
+}
+
+// shareDelivery is one sealed share riding a chain sub-slot.
+type shareDelivery struct {
+	item   minicast.Item
+	sealed []byte
+}
+
+// RunRound executes one aggregation round. trial selects the randomness
+// stream (secrets, fading, reception draws); runs with the same
+// (bootstrap, trial) are bit-identical.
+func RunRound(boot *Bootstrap, trial uint64) (*RoundResult, error) {
+	return RunRoundWithSecrets(boot, trial, nil)
+}
+
+// RunRoundWithSecrets is RunRound with per-round source readings (e.g. this
+// period's meter values), overriding any secrets fixed in the configuration.
+// The map must cover every source.
+func RunRoundWithSecrets(boot *Bootstrap, trial uint64, secrets map[int]uint64) (*RoundResult, error) {
+	return RunRoundTraced(boot, trial, secrets, nil)
+}
+
+// RunRoundTraced is RunRoundWithSecrets with an optional event recorder; a
+// nil recorder is a no-op sink.
+func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *trace.Recorder) (*RoundResult, error) {
+	if boot == nil || boot.Channel == nil {
+		return nil, fmt.Errorf("%w: nil bootstrap", ErrBadConfig)
+	}
+	cfg := boot.cfg
+	if secrets != nil {
+		for _, s := range cfg.Sources {
+			if _, ok := secrets[s]; !ok {
+				return nil, fmt.Errorf("%w: no secret for source %d", ErrBadConfig, s)
+			}
+		}
+		cfg.Secrets = secrets
+	}
+	ch := boot.Channel
+	n := ch.NumNodes()
+	points := shamir.PublicPoints(n)
+	keys := cfg.keyStore()
+
+	secretRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+1)
+	radioRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+2)
+
+	// Destinations: all nodes for S3, the bootstrapped common set for S4.
+	var dests []int
+	switch cfg.Protocol {
+	case S3:
+		dests = make([]int, n)
+		for i := range dests {
+			dests[i] = i
+		}
+	case S4:
+		dests = boot.Dests
+	}
+	// --- Secret generation and share preparation (on-node compute). ---
+	expected := field.Zero
+	deliveries := make([]shareDelivery, 0, len(cfg.Sources)*len(dests))
+	// localShares[j] collects shares that never ride the chain because the
+	// source is its own destination.
+	localShares := make(map[int][]shamir.Share, len(cfg.Sources))
+	var shareGenMax time.Duration
+
+	commits := make(map[int]*vss.Commitment, len(cfg.Sources))
+	for _, src := range cfg.Sources {
+		secret := field.New(secretRNG.Uint64())
+		if cfg.Secrets != nil {
+			secret = field.New(cfg.Secrets[src])
+		}
+		expected = expected.Add(secret)
+		var out []shamir.Share
+		if cfg.Verifiable {
+			vshares, commit, err := vss.Deal(secret, cfg.Degree, points, secretRNG)
+			if err != nil {
+				return nil, err
+			}
+			commits[src] = commit
+			out = make([]shamir.Share, len(vshares))
+			for i, vs := range vshares {
+				out[i] = shamir.Share{X: vs.X, Value: vs.Value}
+			}
+		} else {
+			party, err := shamir.NewParty(src, secret, cfg.Degree, points)
+			if err != nil {
+				return nil, err
+			}
+			var err2 error
+			out, err2 = party.OutgoingShares(secretRNG)
+			if err2 != nil {
+				return nil, err2
+			}
+		}
+		genCost := cfg.CPU.ShareGeneration(cfg.Degree, len(dests))
+		if cfg.Verifiable {
+			genCost += cfg.CPU.VSSCommit(cfg.Degree)
+		}
+		if genCost > shareGenMax {
+			shareGenMax = genCost
+		}
+		rec.Record(genCost, trace.KindShareGen, src,
+			fmt.Sprintf("%d destinations", len(dests)))
+		for _, dst := range dests {
+			if dst == src {
+				localShares[dst] = append(localShares[dst], out[dst])
+				continue
+			}
+			key, err := keys.PairKey(src, dst)
+			if err != nil {
+				return nil, err
+			}
+			ctx := seckey.PacketContext{
+				Round:    uint32(trial),
+				Sender:   uint16(src),
+				Receiver: uint16(dst),
+				Slot:     uint32(len(deliveries)),
+			}
+			sealed, err := seckey.SealShare(key, ctx, out[dst].Value)
+			if err != nil {
+				return nil, err
+			}
+			deliveries = append(deliveries, shareDelivery{
+				item:   minicast.Item{Owner: src, Dst: dst},
+				sealed: sealed,
+			})
+		}
+	}
+
+	// --- Sharing phase over MiniCast. ---
+	ntx := cfg.NTXSharing
+	if cfg.Protocol == S3 {
+		ntx = boot.NTXFull
+	}
+	shareItems := make([]minicast.Item, len(deliveries))
+	for i, d := range deliveries {
+		shareItems[i] = d.item
+	}
+	ledger := sim.NewRadioLedger(n)
+	engine := sim.NewEngine()
+
+	// Verifiable mode: flood the commitment vectors first (one broadcast
+	// item per polynomial coefficient per source).
+	var commitDur time.Duration
+	var commitRes *minicast.Result
+	var commitOwner []int // commitment chain index → source
+	if cfg.Verifiable {
+		commitItems := make([]minicast.Item, 0, len(cfg.Sources)*(cfg.Degree+1))
+		for _, src := range cfg.Sources {
+			for c := 0; c <= cfg.Degree; c++ {
+				commitItems = append(commitItems, minicast.Item{Owner: src, Dst: -1})
+				commitOwner = append(commitOwner, src)
+			}
+		}
+		cRes, cErr := minicast.Run(minicast.Config{
+			Channel:      ch,
+			Initiator:    cfg.Initiator,
+			NTX:          ntx,
+			Items:        commitItems,
+			PayloadBytes: commitPayloadBytes,
+			Failed:       cfg.Failed,
+		}, radioRNG, ledger, engine)
+		if cErr != nil {
+			return nil, fmt.Errorf("commitment phase: %w", cErr)
+		}
+		commitRes = cRes
+		commitDur = commitRes.Duration
+		rec.Record(shareGenMax+commitDur, trace.KindPhase, -1,
+			fmt.Sprintf("commitments: chain=%d", len(commitItems)))
+	}
+
+	shareRes, err := minicast.Run(minicast.Config{
+		Channel:      ch,
+		Initiator:    cfg.Initiator,
+		NTX:          ntx,
+		Items:        shareItems,
+		PayloadBytes: sharePayloadBytes,
+		Failed:       cfg.Failed,
+	}, radioRNG, ledger, engine)
+	if err != nil {
+		return nil, fmt.Errorf("sharing phase: %w", err)
+	}
+	rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindPhase, -1,
+		fmt.Sprintf("sharing: chain=%d ntx=%d", len(shareItems), ntx))
+
+	// --- Local aggregation at each destination. ---
+	sums := make([]field.Element, n)
+	contrib := make([]int, n)
+	absorbCPU := make([]time.Duration, n)
+	var verified, unverified int
+	for dst, shares := range localShares {
+		for _, s := range shares {
+			sums[dst] = sums[dst].Add(s.Value)
+			contrib[dst]++
+		}
+	}
+	for idx, d := range deliveries {
+		dst := d.item.Dst
+		if !shareRes.Have[dst][idx] {
+			continue
+		}
+		key, err := keys.PairKey(d.item.Owner, dst)
+		if err != nil {
+			return nil, err
+		}
+		ctx := seckey.PacketContext{
+			Round:    uint32(trial),
+			Sender:   uint16(d.item.Owner),
+			Receiver: uint16(dst),
+			Slot:     uint32(idx),
+		}
+		value, err := seckey.OpenShare(key, ctx, d.sealed)
+		if err != nil {
+			return nil, fmt.Errorf("open share %d: %w", idx, err)
+		}
+		if cfg.Verifiable {
+			// Verify against the dealer's commitment when the commitment
+			// chain reached this destination; absorb optimistically
+			// otherwise (coverage is reported in the result).
+			if hasFullCommitment(commitRes, commitOwner, dst, d.item.Owner) {
+				share := vss.Share{X: shamir.PublicPoint(dst), Value: value}
+				if vErr := vss.Verify(share, commits[d.item.Owner]); vErr != nil {
+					// With honest dealers this indicates a protocol bug.
+					return nil, fmt.Errorf("verify share %d: %w", idx, vErr)
+				}
+				verified++
+				absorbCPU[dst] += cfg.CPU.VSSVerify(cfg.Degree)
+			} else {
+				unverified++
+			}
+		}
+		sums[dst] = sums[dst].Add(value)
+		contrib[dst]++
+	}
+	for _, dst := range dests {
+		absorbCPU[dst] += cfg.CPU.SumAbsorb(contrib[dst])
+	}
+
+	// Only destinations whose sum aggregates EVERY source re-share it; an
+	// incomplete sum would poison interpolation. (The sum packet carries a
+	// contribution count, so peers can tell.)
+	holders := make([]int, 0, len(dests))
+	for _, dst := range dests {
+		if contrib[dst] == len(cfg.Sources) {
+			holders = append(holders, dst)
+			rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindSumComplete, dst, "")
+		} else {
+			rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindSumIncomplete, dst,
+				fmt.Sprintf("%d/%d shares", contrib[dst], len(cfg.Sources)))
+		}
+	}
+	need := cfg.Degree + 1
+	if len(holders) < need {
+		// The round is unrecoverable network-wide; report total failure.
+		return failedRound(expected, n, ledger, commitDur+shareRes.Duration, len(shareItems), ntx), nil
+	}
+
+	// --- Reconstruction phase over MiniCast (plaintext sums). ---
+	reconItems := make([]minicast.Item, len(holders))
+	for i, h := range holders {
+		reconItems[i] = minicast.Item{Owner: h, Dst: -1}
+	}
+	var stopListen func(int, []bool) bool
+	if cfg.Protocol == S4 && !cfg.NoEarlyOff {
+		// S4 nodes duty-cycle off once any k+1 sums are in hand.
+		stopListen = func(node int, have []bool) bool {
+			count := 0
+			for _, h := range have {
+				if h {
+					count++
+					if count >= need {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	reconRes, err := minicast.Run(minicast.Config{
+		Channel:      ch,
+		Initiator:    cfg.Initiator,
+		NTX:          ntx,
+		Items:        reconItems,
+		PayloadBytes: sumPayloadBytes,
+		StopListen:   stopListen,
+		Failed:       cfg.Failed,
+	}, radioRNG, ledger, engine)
+	if err != nil {
+		return nil, fmt.Errorf("reconstruction phase: %w", err)
+	}
+	rec.Record(shareGenMax+commitDur+shareRes.Duration+reconRes.Duration, trace.KindPhase, -1,
+		fmt.Sprintf("reconstruction: chain=%d", len(reconItems)))
+
+	// --- Per-node reconstruction and latency. ---
+	res := &RoundResult{
+		Expected:        expected,
+		Aggregate:       make([]field.Element, n),
+		NodeOK:          make([]bool, n),
+		Latency:         make([]time.Duration, n),
+		RadioOn:         make([]time.Duration, n),
+		SharingDuration: commitDur + shareRes.Duration,
+		ReconDuration:   reconRes.Duration,
+		SharingChainLen: len(shareItems),
+		ReconChainLen:   len(reconItems),
+		NTXUsed:         ntx,
+
+		VerifiedShares:   verified,
+		UnverifiedShares: unverified,
+	}
+	var latSum, latMax time.Duration
+	okCount := 0
+	for node := 0; node < n; node++ {
+		res.RadioOn[node] = ledger.OnTime(node)
+		res.Latency[node] = -1
+
+		// Collect the arrival times of the sums this node holds.
+		arrivals := make([]time.Duration, 0, len(holders))
+		held := make([]shamir.Share, 0, len(holders))
+		for i, h := range holders {
+			if !reconRes.Have[node][i] {
+				continue
+			}
+			arrivals = append(arrivals, reconRes.RxAt[node][i])
+			held = append(held, shamir.Share{X: shamir.PublicPoint(h), Value: sums[h]})
+		}
+		required := need
+		if cfg.Protocol == S3 {
+			required = len(holders) // naive: wait for strict all-to-all
+		}
+		if len(held) < required {
+			rec.Record(shareGenMax+commitDur+shareRes.Duration+reconRes.Duration,
+				trace.KindAggregateFail, node,
+				fmt.Sprintf("%d/%d sums", len(held), required))
+			continue
+		}
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+		readyAt := arrivals[required-1]
+
+		agg, err := shamir.ReconstructAggregate(held[:need], cfg.Degree)
+		if err != nil {
+			return nil, err
+		}
+		res.Aggregate[node] = agg
+		if agg != expected {
+			continue // would indicate an incomplete sum slipped through
+		}
+		res.NodeOK[node] = true
+		okCount++
+		lat := shareGenMax + commitDur + shareRes.Duration + absorbCPU[node] + readyAt +
+			cfg.CPU.Interpolation(need)
+		res.Latency[node] = lat
+		rec.Record(lat, trace.KindAggregateOK, node, "")
+		latSum += lat
+		if lat > latMax {
+			latMax = lat
+		}
+	}
+	res.CorrectNodes = okCount
+	if okCount > 0 {
+		res.MeanLatency = latSum / time.Duration(okCount)
+		res.MaxLatency = latMax
+	}
+	var onSum time.Duration
+	for node := 0; node < n; node++ {
+		onSum += res.RadioOn[node]
+	}
+	res.MeanRadioOn = onSum / time.Duration(n)
+	return res, nil
+}
+
+// hasFullCommitment reports whether dst received every commitment
+// coefficient dealt by src in the commitment chain.
+func hasFullCommitment(commitRes *minicast.Result, commitOwner []int, dst, src int) bool {
+	if commitRes == nil {
+		return false
+	}
+	for idx, owner := range commitOwner {
+		if owner == src && !commitRes.Have[dst][idx] {
+			return false
+		}
+	}
+	return true
+}
+
+// failedRound builds the all-failure result used when too few complete sums
+// exist for anyone to reconstruct.
+func failedRound(expected field.Element, n int, ledger *sim.RadioLedger,
+	shareDur time.Duration, chainLen, ntx int) *RoundResult {
+	res := &RoundResult{
+		Expected:        expected,
+		Aggregate:       make([]field.Element, n),
+		NodeOK:          make([]bool, n),
+		Latency:         make([]time.Duration, n),
+		RadioOn:         make([]time.Duration, n),
+		SharingDuration: shareDur,
+		SharingChainLen: chainLen,
+		NTXUsed:         ntx,
+	}
+	var onSum time.Duration
+	for i := 0; i < n; i++ {
+		res.Latency[i] = -1
+		res.RadioOn[i] = ledger.OnTime(i)
+		onSum += res.RadioOn[i]
+	}
+	res.MeanRadioOn = onSum / time.Duration(n)
+	return res
+}

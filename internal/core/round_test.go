@@ -1,0 +1,361 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iotmpc/internal/topology"
+	"iotmpc/internal/trace"
+)
+
+// bootFor caches bootstraps per protocol to keep the test suite quick.
+func bootFor(t *testing.T, cfg Config) *Bootstrap {
+	t.Helper()
+	boot, err := RunBootstrap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return boot
+}
+
+func TestRunRoundNilBootstrap(t *testing.T) {
+	if _, err := RunRound(nil, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestS3RoundAllNodesCorrect(t *testing.T) {
+	boot := bootFor(t, flockConfig(S3))
+	res, err := RunRound(boot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := boot.Channel.NumNodes()
+	if res.CorrectNodes != n {
+		t.Errorf("correct nodes = %d/%d", res.CorrectNodes, n)
+	}
+	for i := 0; i < n; i++ {
+		if !res.NodeOK[i] {
+			t.Errorf("node %d failed", i)
+			continue
+		}
+		if res.Aggregate[i] != res.Expected {
+			t.Errorf("node %d aggregate %v != expected %v", i, res.Aggregate[i], res.Expected)
+		}
+		if res.Latency[i] <= 0 {
+			t.Errorf("node %d latency %v", i, res.Latency[i])
+		}
+		if res.RadioOn[i] <= 0 {
+			t.Errorf("node %d radio-on %v", i, res.RadioOn[i])
+		}
+	}
+}
+
+func TestS4RoundAllNodesCorrect(t *testing.T) {
+	boot := bootFor(t, flockConfig(S4))
+	res, err := RunRound(boot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := boot.Channel.NumNodes()
+	if res.CorrectNodes < n-1 { // S4 tolerates rare per-node misses by design
+		t.Errorf("correct nodes = %d/%d", res.CorrectNodes, n)
+	}
+}
+
+func TestS4BeatsS3OnBothMetrics(t *testing.T) {
+	s3 := bootFor(t, flockConfig(S3))
+	s4 := bootFor(t, flockConfig(S4))
+	var s3Lat, s4Lat, s3Radio, s4Radio time.Duration
+	const trials = 3
+	for trial := uint64(0); trial < trials; trial++ {
+		r3, err := RunRound(s3, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := RunRound(s4, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s3Lat += r3.MeanLatency
+		s4Lat += r4.MeanLatency
+		s3Radio += r3.MeanRadioOn
+		s4Radio += r4.MeanRadioOn
+	}
+	if s4Lat*2 >= s3Lat {
+		t.Errorf("S4 latency %v not at least 2x better than S3 %v", s4Lat/trials, s3Lat/trials)
+	}
+	if s4Radio*2 >= s3Radio {
+		t.Errorf("S4 radio %v not at least 2x better than S3 %v", s4Radio/trials, s3Radio/trials)
+	}
+}
+
+func TestRoundDeterministicGivenTrial(t *testing.T) {
+	boot := bootFor(t, flockConfig(S4))
+	a, err := RunRound(boot, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRound(boot, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Expected != b.Expected || a.MeanLatency != b.MeanLatency || a.MeanRadioOn != b.MeanRadioOn {
+		t.Error("same trial produced different results")
+	}
+	c, err := RunRound(boot, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Expected == c.Expected {
+		t.Error("different trials produced identical secrets")
+	}
+}
+
+func TestPartialSourcesSmallerChain(t *testing.T) {
+	few := flockConfig(S3)
+	few.Sources = []int{0, 5, 9}
+	bootFew := bootFor(t, few)
+	resFew, err := RunRound(bootFew, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := bootFor(t, flockConfig(S3))
+	resAll, err := RunRound(all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFew.SharingChainLen >= resAll.SharingChainLen {
+		t.Errorf("3-source chain %d not smaller than 26-source chain %d",
+			resFew.SharingChainLen, resAll.SharingChainLen)
+	}
+	if resFew.CorrectNodes != 26 {
+		t.Errorf("partial-source round correct nodes = %d/26", resFew.CorrectNodes)
+	}
+	if resFew.MeanLatency >= resAll.MeanLatency {
+		t.Error("fewer sources should reduce latency")
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	boot := bootFor(t, flockConfig(S4))
+	res, err := RunRound(boot, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.SharingDuration + res.ReconDuration + time.Second // CPU slack
+	for i, lat := range res.Latency {
+		if !res.NodeOK[i] {
+			continue
+		}
+		if lat < res.SharingDuration {
+			t.Errorf("node %d latency %v below sharing duration %v", i, lat, res.SharingDuration)
+		}
+		if lat > total {
+			t.Errorf("node %d latency %v above phase total %v", i, lat, total)
+		}
+	}
+	if res.MaxLatency < res.MeanLatency {
+		t.Error("max latency below mean")
+	}
+}
+
+func TestS4ChainTrimmedVersusS3(t *testing.T) {
+	s3 := bootFor(t, flockConfig(S3))
+	s4 := bootFor(t, flockConfig(S4))
+	r3, err := RunRound(s3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunRound(s4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S3: s·(n-1) sub-slots. S4: s·|D| minus self-deliveries.
+	if r3.SharingChainLen != 26*25 {
+		t.Errorf("S3 chain = %d, want 650", r3.SharingChainLen)
+	}
+	if r4.SharingChainLen >= r3.SharingChainLen/2 {
+		t.Errorf("S4 chain %d not substantially trimmed vs %d", r4.SharingChainLen, r3.SharingChainLen)
+	}
+	if r4.ReconChainLen >= r3.ReconChainLen {
+		t.Errorf("S4 recon chain %d not smaller than S3 %d", r4.ReconChainLen, r3.ReconChainLen)
+	}
+	if r3.NTXUsed <= r4.NTXUsed {
+		t.Errorf("S3 NTX %d not above S4 NTX %d", r3.NTXUsed, r4.NTXUsed)
+	}
+}
+
+func TestFaultToleranceWithSlack(t *testing.T) {
+	// Kill two destination nodes after commissioning: with slack >= 2 the
+	// remaining sums still cover degree+1 points and every live node
+	// reconstructs correctly.
+	cfg := flockConfig(S4)
+	cfg.DestSlack = 3
+	boot := bootFor(t, cfg)
+
+	failed := make([]bool, 26)
+	killed := 0
+	for _, d := range boot.Dests {
+		if d == cfg.Initiator || contains(cfg.Sources, d) {
+			continue
+		}
+		failed[d] = true
+		killed++
+		if killed == 2 {
+			break
+		}
+	}
+	if killed == 0 {
+		t.Skip("no killable destination (all are sources); topology-dependent")
+	}
+	cfg2 := cfg
+	cfg2.Failed = failed
+	// Re-normalize via a fresh bootstrap config is not needed: inject the
+	// failure by re-running bootstrap with the same seed and patching cfg.
+	cfg2.Sources = removeFailed(cfg.Sources, failed)
+	boot2, err := RunBootstrap(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRound(boot2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 26; i++ {
+		if failed[i] {
+			if res.NodeOK[i] {
+				t.Errorf("failed node %d reported success", i)
+			}
+			continue
+		}
+		if !res.NodeOK[i] {
+			t.Errorf("live node %d failed despite slack", i)
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeFailed(sources []int, failed []bool) []int {
+	out := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if !failed[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestNoEarlyOffIncreasesRadio(t *testing.T) {
+	base := flockConfig(S4)
+	bootA := bootFor(t, base)
+	ablated := base
+	ablated.NoEarlyOff = true
+	bootB := bootFor(t, ablated)
+
+	ra, err := RunRound(bootA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunRound(bootB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.MeanRadioOn <= ra.MeanRadioOn {
+		t.Errorf("disabling early-off should cost radio: with=%v without=%v",
+			ra.MeanRadioOn, rb.MeanRadioOn)
+	}
+}
+
+func TestDCubeRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full DCube round")
+	}
+	cfg := Config{
+		Topology:    topology.DCube(),
+		Protocol:    S4,
+		Sources:     sourcesUpTo(45),
+		NTXSharing:  5,
+		DestSlack:   1,
+		ChannelSeed: 1,
+	}
+	boot := bootFor(t, cfg)
+	res, err := RunRound(boot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorrectNodes < 44 {
+		t.Errorf("DCube correct nodes = %d/45", res.CorrectNodes)
+	}
+}
+
+func TestRunRoundTracedEmitsEvents(t *testing.T) {
+	boot := bootFor(t, flockConfig(S4))
+	var rec trace.Recorder
+	res, err := RunRoundTraced(boot, 0, nil, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.CountByKind()
+	if counts[trace.KindShareGen] != 26 {
+		t.Errorf("share-gen events = %d, want 26", counts[trace.KindShareGen])
+	}
+	if counts[trace.KindPhase] != 2 {
+		t.Errorf("phase events = %d, want 2 (sharing + reconstruction)", counts[trace.KindPhase])
+	}
+	if got := counts[trace.KindAggregateOK]; got != res.CorrectNodes {
+		t.Errorf("aggregate-ok events = %d, want %d", got, res.CorrectNodes)
+	}
+	if counts[trace.KindSumComplete]+counts[trace.KindSumIncomplete] != len(boot.Dests) {
+		t.Errorf("sum events = %d, want %d destinations",
+			counts[trace.KindSumComplete]+counts[trace.KindSumIncomplete], len(boot.Dests))
+	}
+	if _, err := rec.JSON(); err != nil {
+		t.Errorf("JSON: %v", err)
+	}
+}
+
+func TestVerifiableRound(t *testing.T) {
+	cfg := flockConfig(S4)
+	cfg.Verifiable = true
+	boot := bootFor(t, cfg)
+	res, err := RunRound(boot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorrectNodes < 25 {
+		t.Errorf("verifiable round correct nodes = %d/26", res.CorrectNodes)
+	}
+	if res.VerifiedShares == 0 {
+		t.Error("no shares were verified")
+	}
+	total := res.VerifiedShares + res.UnverifiedShares
+	if coverage := float64(res.VerifiedShares) / float64(total); coverage < 0.8 {
+		t.Errorf("verification coverage %.2f too low", coverage)
+	}
+
+	// Verifiability costs latency and radio (the commitment chain).
+	plain := bootFor(t, flockConfig(S4))
+	base, err := RunRound(plain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency <= base.MeanLatency {
+		t.Error("verifiable round not slower than plain round")
+	}
+	if res.MeanRadioOn <= base.MeanRadioOn {
+		t.Error("verifiable round not costlier in radio")
+	}
+	if base.VerifiedShares != 0 || base.UnverifiedShares != 0 {
+		t.Error("plain round reported verification counters")
+	}
+}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBaselineComparisonShape(t *testing.T) {
+	rows, err := BaselineComparison(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byName := make(map[string]BaselineRow, 3)
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	s3, s4, he := byName["S3"], byName["S4"], byName["HE"]
+
+	// The paper's framing, quantified:
+	// HE is computation-bound — its CPU time dwarfs both SSS variants'.
+	if he.CPUBusyMS < 1000*s4.CPUBusyMS {
+		t.Errorf("HE CPU %.1f ms not orders above S4's %.3f ms", he.CPUBusyMS, s4.CPUBusyMS)
+	}
+	// CT-based SSS is communication-bound — its radio time dwarfs HE's.
+	if s3.RadioOnMS.Mean < 10*he.RadioOnMS.Mean {
+		t.Errorf("S3 radio %.1f ms not far above HE's %.1f ms", s3.RadioOnMS.Mean, he.RadioOnMS.Mean)
+	}
+	// S4 beats HE end-to-end on latency (HE pays ~18 s of crypto).
+	if s4.LatencyMS.Mean >= he.LatencyMS.Mean {
+		t.Errorf("S4 latency %.1f not below HE %.1f", s4.LatencyMS.Mean, he.LatencyMS.Mean)
+	}
+	// And S4 is the cheapest in battery charge.
+	if s4.ChargeMC >= he.ChargeMC || s4.ChargeMC >= s3.ChargeMC {
+		t.Errorf("S4 charge %.2f mC not the lowest (S3 %.2f, HE %.2f)",
+			s4.ChargeMC, s3.ChargeMC, he.ChargeMC)
+	}
+}
+
+func TestBaselineComparisonErrors(t *testing.T) {
+	if _, err := BaselineComparison(0, 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("zero iterations: %v, want ErrBadSpec", err)
+	}
+}
+
+func TestBaselineTable(t *testing.T) {
+	rows := []BaselineRow{{Protocol: "S4"}}
+	out := BaselineTable(rows)
+	if !strings.Contains(out, "S4") || !strings.Contains(out, "charge") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestScalabilityGainGrowsWithNetworkSize(t *testing.T) {
+	points, err := ScalabilitySweep([]int{15, 40}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, large := points[0], points[1]
+	if large.LatencyRatio <= small.LatencyRatio {
+		t.Errorf("S4 advantage not growing: n=%d %.2fx vs n=%d %.2fx",
+			small.Nodes, small.LatencyRatio, large.Nodes, large.LatencyRatio)
+	}
+	for _, p := range points {
+		if p.LatencyRatio <= 1 || p.RadioRatio <= 1 {
+			t.Errorf("n=%d: S4 not winning (%.2fx, %.2fx)", p.Nodes, p.LatencyRatio, p.RadioRatio)
+		}
+	}
+}
+
+func TestScalabilitySweepErrors(t *testing.T) {
+	if _, err := ScalabilitySweep(nil, 1, 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("no sizes: %v, want ErrBadSpec", err)
+	}
+	if _, err := ScalabilitySweep([]int{20}, 0, 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("zero iterations: %v, want ErrBadSpec", err)
+	}
+	if _, err := ScalabilitySweep([]int{3}, 1, 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("tiny size: %v, want ErrBadSpec", err)
+	}
+}
+
+func TestScalabilityTable(t *testing.T) {
+	out := ScalabilityTable([]ScalabilityPoint{{Nodes: 20, LatencyRatio: 3}})
+	if !strings.Contains(out, "20") || !strings.Contains(out, "Scalability") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

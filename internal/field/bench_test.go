@@ -1,0 +1,72 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchElements(n int) []Element {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Element, n)
+	for i := range out {
+		out[i] = randomCanonical(rng)
+	}
+	return out
+}
+
+func BenchmarkMul(b *testing.B) {
+	xs := benchElements(1024)
+	b.ResetTimer()
+	var acc Element
+	for i := 0; i < b.N; i++ {
+		acc = acc.Add(xs[i%1024].Mul(xs[(i+1)%1024]))
+	}
+	_ = acc
+}
+
+func BenchmarkInv(b *testing.B) {
+	xs := benchElements(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xs[i%1024].Inv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolyEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, degree := range []int{8, 15} {
+		p, err := NewRandomPoly(New(1), degree, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{8: "k=8(flocklab)", 15: "k=15(dcube)"}[degree], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = p.Eval(New(uint64(i + 1)))
+			}
+		})
+	}
+}
+
+func BenchmarkInterpolateAtZero(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{8, 15} {
+		p, err := NewRandomPoly(New(12345), k, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points := make([]Point, k+1)
+		for i := range points {
+			x := New(uint64(i + 1))
+			points[i] = Point{X: x, Y: p.Eval(x)}
+		}
+		b.Run(map[int]string{8: "k=8(flocklab)", 15: "k=15(dcube)"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := InterpolateAtZero(points); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

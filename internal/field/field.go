@@ -1,0 +1,189 @@
+// Package field implements arithmetic over the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime), together with polynomial evaluation and
+// Lagrange interpolation. It is the algebraic substrate for Shamir Secret
+// Sharing: secrets, shares and public points are all field elements.
+//
+// The Mersenne prime 2^61-1 was chosen because products of two 61-bit values
+// fit in 128 bits (available via math/bits.Mul64) and reduction modulo a
+// Mersenne prime needs only shifts and adds, so every operation is branch-light
+// and constant-time-ish — appropriate for the resource-constrained IoT setting
+// the paper targets while still leaving 61 bits of headroom for aggregating
+// thousands of sensor readings without wrap-around ambiguity.
+package field
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Modulus is the field prime p = 2^61 - 1.
+const Modulus uint64 = (1 << 61) - 1
+
+// Element is a field element in the canonical range [0, Modulus).
+type Element uint64
+
+// Common constants.
+const (
+	// Zero is the additive identity.
+	Zero Element = 0
+	// One is the multiplicative identity.
+	One Element = 1
+)
+
+// Errors returned by field operations.
+var (
+	// ErrDivByZero is returned when inverting or dividing by zero.
+	ErrDivByZero = errors.New("field: division by zero")
+	// ErrNotCanonical is returned when parsing a value >= Modulus.
+	ErrNotCanonical = errors.New("field: value out of canonical range")
+)
+
+// New reduces an arbitrary uint64 into the field.
+func New(v uint64) Element {
+	return Element(reduce(v))
+}
+
+// FromInt64 maps a signed integer into the field; negative values map to
+// their additive inverses, which lets callers aggregate signed sensor
+// readings (e.g. temperature deltas) without special cases.
+func FromInt64(v int64) Element {
+	if v >= 0 {
+		return New(uint64(v))
+	}
+	return New(uint64(-v)).Neg()
+}
+
+// Parse validates that v is already canonical and converts it.
+func Parse(v uint64) (Element, error) {
+	if v >= Modulus {
+		return 0, fmt.Errorf("%w: %d", ErrNotCanonical, v)
+	}
+	return Element(v), nil
+}
+
+// reduce folds a uint64 into [0, Modulus) using the Mersenne structure:
+// x mod (2^61-1) == (x >> 61) + (x & Modulus), applied until canonical.
+func reduce(x uint64) uint64 {
+	x = (x >> 61) + (x & Modulus)
+	if x >= Modulus {
+		x -= Modulus
+	}
+	return x
+}
+
+// reduce128 folds a 128-bit product (hi, lo) into [0, Modulus).
+// Write the product as hi*2^64 + lo. Since 2^64 = 8*2^61 ≡ 8 (mod p),
+// hi*2^64 + lo ≡ 8*hi + lo. We fold in two passes to stay in range.
+func reduce128(hi, lo uint64) uint64 {
+	// lo = a*2^61 + b with b < 2^61  =>  lo ≡ a + b.
+	a := lo >> 61
+	b := lo & Modulus
+	// hi < 2^58 for products of two canonical (<2^61) elements, so
+	// 8*hi < 2^61 and the sum below cannot overflow 64 bits.
+	s := (hi << 3) + a + b
+	return reduce(s)
+}
+
+// Uint64 returns the canonical representative.
+func (e Element) Uint64() uint64 { return uint64(e) }
+
+// IsZero reports whether e is the additive identity.
+func (e Element) IsZero() bool { return e == 0 }
+
+// Add returns e + o (mod p).
+func (e Element) Add(o Element) Element {
+	s := uint64(e) + uint64(o) // < 2^62, no overflow
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Sub returns e - o (mod p).
+func (e Element) Sub(o Element) Element {
+	if e >= o {
+		return e - o
+	}
+	return e + Element(Modulus) - o
+}
+
+// Neg returns -e (mod p).
+func (e Element) Neg() Element {
+	if e == 0 {
+		return 0
+	}
+	return Element(Modulus) - e
+}
+
+// Mul returns e * o (mod p).
+func (e Element) Mul(o Element) Element {
+	hi, lo := bits.Mul64(uint64(e), uint64(o))
+	return Element(reduce128(hi, lo))
+}
+
+// Square returns e² (mod p).
+func (e Element) Square() Element { return e.Mul(e) }
+
+// Double returns 2e (mod p).
+func (e Element) Double() Element { return e.Add(e) }
+
+// Exp returns e^k (mod p) by square-and-multiply.
+func (e Element) Exp(k uint64) Element {
+	result := One
+	base := e
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Square()
+		k >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse e^(p-2) via Fermat's little theorem.
+func (e Element) Inv() (Element, error) {
+	if e == 0 {
+		return 0, ErrDivByZero
+	}
+	return e.Exp(Modulus - 2), nil
+}
+
+// Div returns e / o (mod p).
+func (e Element) Div(o Element) (Element, error) {
+	inv, err := o.Inv()
+	if err != nil {
+		return 0, err
+	}
+	return e.Mul(inv), nil
+}
+
+// String implements fmt.Stringer.
+func (e Element) String() string {
+	return fmt.Sprintf("%d", uint64(e))
+}
+
+// Sum adds a slice of elements. A nil or empty slice sums to Zero, which is
+// what the aggregation pipeline relies on for absent contributions.
+func Sum(elems []Element) Element {
+	var acc Element
+	for _, e := range elems {
+		acc = acc.Add(e)
+	}
+	return acc
+}
+
+// Dot returns the inner product Σ aᵢ·bᵢ. The two slices must have equal
+// length; extra entries in the longer slice would silently change the result,
+// so mismatch is an error.
+func Dot(a, b []Element) (Element, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("field: dot length mismatch %d vs %d", len(a), len(b))
+	}
+	var acc Element
+	for i := range a {
+		acc = acc.Add(a[i].Mul(b[i]))
+	}
+	return acc, nil
+}

@@ -1,0 +1,293 @@
+package field
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReduces(t *testing.T) {
+	tests := []struct {
+		name string
+		in   uint64
+		want Element
+	}{
+		{"zero", 0, 0},
+		{"one", 1, 1},
+		{"modulus maps to zero", Modulus, 0},
+		{"modulus+1 maps to one", Modulus + 1, 1},
+		{"max uint64", ^uint64(0), Element(reduce(^uint64(0)))},
+		{"below modulus unchanged", Modulus - 1, Element(Modulus - 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := New(tt.in); got != tt.want {
+				t.Errorf("New(%d) = %v, want %v", tt.in, got, tt.want)
+			}
+			if got := New(tt.in); uint64(got) >= Modulus {
+				t.Errorf("New(%d) = %v not canonical", tt.in, got)
+			}
+		})
+	}
+}
+
+func TestFromInt64(t *testing.T) {
+	tests := []struct {
+		name string
+		in   int64
+		want Element
+	}{
+		{"zero", 0, 0},
+		{"positive", 42, 42},
+		{"negative is additive inverse", -1, Element(Modulus - 1)},
+		{"negative 100", -100, Element(Modulus - 100)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromInt64(tt.in); got != tt.want {
+				t.Errorf("FromInt64(%d) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFromInt64Roundtrip(t *testing.T) {
+	// x + (-x) must cancel.
+	for _, v := range []int64{1, 7, 1 << 40, 123456789} {
+		if got := FromInt64(v).Add(FromInt64(-v)); got != Zero {
+			t.Errorf("FromInt64(%d)+FromInt64(-%d) = %v, want 0", v, v, got)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	if _, err := Parse(Modulus); !errors.Is(err, ErrNotCanonical) {
+		t.Errorf("Parse(Modulus) error = %v, want ErrNotCanonical", err)
+	}
+	got, err := Parse(Modulus - 1)
+	if err != nil {
+		t.Fatalf("Parse(Modulus-1) error = %v", err)
+	}
+	if got != Element(Modulus-1) {
+		t.Errorf("Parse(Modulus-1) = %v", got)
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	a := New(Modulus - 2)
+	b := New(5)
+	if got := a.Add(b); got != New(3) {
+		t.Errorf("wraparound add = %v, want 3", got)
+	}
+	if got := b.Sub(a); got != New(7) {
+		t.Errorf("wraparound sub = %v, want 7", got)
+	}
+	if got := a.Add(a.Neg()); got != Zero {
+		t.Errorf("a + (-a) = %v, want 0", got)
+	}
+	if got := Zero.Neg(); got != Zero {
+		t.Errorf("-0 = %v, want 0", got)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b, want uint64
+	}{
+		{0, 12345, 0},
+		{1, 12345, 12345},
+		{2, Modulus - 1, Modulus - 2}, // 2(p-1) = 2p-2 ≡ p-2
+		{3, 3, 9},
+		{1 << 30, 1 << 31, 1 << 61 % Modulus}, // 2^61 ≡ 1
+	}
+	for _, tt := range tests {
+		if got := New(tt.a).Mul(New(tt.b)); got != New(tt.want) {
+			t.Errorf("%d*%d = %v, want %v", tt.a, tt.b, got, New(tt.want))
+		}
+	}
+}
+
+func TestMersenneIdentity(t *testing.T) {
+	// 2^61 ≡ 1 (mod 2^61-1): the core fact reduce128 relies on.
+	two := New(2)
+	if got := two.Exp(61); got != One {
+		t.Errorf("2^61 = %v, want 1", got)
+	}
+}
+
+func TestInv(t *testing.T) {
+	if _, err := Zero.Inv(); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("Inv(0) error = %v, want ErrDivByZero", err)
+	}
+	for _, v := range []uint64{1, 2, 3, 1 << 45, Modulus - 1} {
+		e := New(v)
+		inv, err := e.Inv()
+		if err != nil {
+			t.Fatalf("Inv(%d) error = %v", v, err)
+		}
+		if got := e.Mul(inv); got != One {
+			t.Errorf("%d * %d⁻¹ = %v, want 1", v, v, got)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	if _, err := One.Div(Zero); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("Div by zero error = %v, want ErrDivByZero", err)
+	}
+	got, err := New(84).Div(New(2))
+	if err != nil {
+		t.Fatalf("Div error = %v", err)
+	}
+	if got != New(42) {
+		t.Errorf("84/2 = %v, want 42", got)
+	}
+}
+
+func TestExp(t *testing.T) {
+	tests := []struct {
+		base, exp uint64
+		want      Element
+	}{
+		{5, 0, One},
+		{5, 1, New(5)},
+		{5, 3, New(125)},
+		{0, 0, One}, // convention: 0^0 = 1
+		{0, 5, Zero},
+	}
+	for _, tt := range tests {
+		if got := New(tt.base).Exp(tt.exp); got != tt.want {
+			t.Errorf("%d^%d = %v, want %v", tt.base, tt.exp, got, tt.want)
+		}
+	}
+}
+
+func TestFermat(t *testing.T) {
+	// a^(p-1) == 1 for a != 0.
+	for _, v := range []uint64{2, 97, 1 << 50} {
+		if got := New(v).Exp(Modulus - 1); got != One {
+			t.Errorf("%d^(p-1) = %v, want 1", v, got)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(nil); got != Zero {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+	if got := Sum([]Element{New(1), New(2), New(3)}); got != New(6) {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	// Wraparound.
+	if got := Sum([]Element{New(Modulus - 1), New(2)}); got != One {
+		t.Errorf("wrap Sum = %v, want 1", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]Element{New(1), New(2)}, []Element{New(3), New(4)})
+	if err != nil {
+		t.Fatalf("Dot error = %v", err)
+	}
+	if got != New(11) {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if _, err := Dot([]Element{One}, nil); err == nil {
+		t.Error("Dot length mismatch: want error, got nil")
+	}
+}
+
+// randomCanonical draws a canonical element for property tests.
+func randomCanonical(r *rand.Rand) Element {
+	for {
+		v := r.Uint64() >> 3
+		if v < Modulus {
+			return Element(v)
+		}
+	}
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randomCanonical(r), randomCanonical(r)
+		if a.Add(b) != b.Add(a) {
+			t.Fatalf("add not commutative: %v, %v", a, b)
+		}
+	}
+}
+
+func TestPropMulCommutativeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomCanonical(r), randomCanonical(r), randomCanonical(r)
+		if a.Mul(b) != b.Mul(a) {
+			t.Fatalf("mul not commutative: %v, %v", a, b)
+		}
+		if a.Mul(b).Mul(c) != a.Mul(b.Mul(c)) {
+			t.Fatalf("mul not associative: %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+func TestPropDistributive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomCanonical(r), randomCanonical(r), randomCanonical(r)
+		lhs := a.Mul(b.Add(c))
+		rhs := a.Mul(b).Add(a.Mul(c))
+		if lhs != rhs {
+			t.Fatalf("distributivity fails: a=%v b=%v c=%v lhs=%v rhs=%v", a, b, c, lhs, rhs)
+		}
+	}
+}
+
+func TestPropSubAddInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		a, b := randomCanonical(r), randomCanonical(r)
+		if a.Sub(b).Add(b) != a {
+			t.Fatalf("(a-b)+b != a for a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestPropInvRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		a := randomCanonical(r)
+		if a.IsZero() {
+			continue
+		}
+		inv, err := a.Inv()
+		if err != nil {
+			t.Fatalf("Inv(%v) error: %v", a, err)
+		}
+		if a.Mul(inv) != One {
+			t.Fatalf("a·a⁻¹ != 1 for a=%v", a)
+		}
+	}
+}
+
+func TestPropQuickMulMatchesBigIntStyle(t *testing.T) {
+	// Cross-check Mul against a shift-and-add ladder that never overflows.
+	slowMul := func(a, b Element) Element {
+		var acc Element
+		for b > 0 {
+			if b&1 == 1 {
+				acc = acc.Add(a)
+			}
+			a = a.Double()
+			b >>= 1
+		}
+		return acc
+	}
+	f := func(x, y uint64) bool {
+		a, b := New(x), New(y)
+		return a.Mul(b) == slowMul(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

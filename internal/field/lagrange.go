@@ -1,0 +1,153 @@
+package field
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Point is an (x, y) evaluation of a polynomial, i.e. a Shamir share in the
+// algebraic sense: y = P(x).
+type Point struct {
+	X Element
+	Y Element
+}
+
+// Errors returned by interpolation.
+var (
+	// ErrDuplicateX is returned when two interpolation points share an x
+	// coordinate; the interpolating polynomial would be ill-defined.
+	ErrDuplicateX = errors.New("field: duplicate x coordinate")
+	// ErrNoPoints is returned when interpolation is attempted on an empty set.
+	ErrNoPoints = errors.New("field: no interpolation points")
+)
+
+// InterpolateAt evaluates, at target x0, the unique polynomial of degree
+// < len(points) passing through the given points, using the Lagrange form:
+//
+//	P(x0) = Σᵢ yᵢ · Πⱼ≠ᵢ (x0 - xⱼ)/(xᵢ - xⱼ)
+//
+// This is the reconstruction step of SSS: with x0 = 0 it recovers the secret
+// (or the aggregated secret when the yᵢ are sums of shares).
+func InterpolateAt(points []Point, x0 Element) (Element, error) {
+	if len(points) == 0 {
+		return 0, ErrNoPoints
+	}
+	if err := checkDistinctX(points); err != nil {
+		return 0, err
+	}
+	var acc Element
+	for i, pi := range points {
+		num := One
+		den := One
+		for j, pj := range points {
+			if j == i {
+				continue
+			}
+			num = num.Mul(x0.Sub(pj.X))
+			den = den.Mul(pi.X.Sub(pj.X))
+		}
+		invDen, err := den.Inv()
+		if err != nil {
+			// Unreachable given distinct x's, but surface it defensively.
+			return 0, fmt.Errorf("lagrange denominator: %w", err)
+		}
+		acc = acc.Add(pi.Y.Mul(num).Mul(invDen))
+	}
+	return acc, nil
+}
+
+// InterpolateAtZero is InterpolateAt with x0 = 0; kept as a named entry point
+// because reconstruction-at-zero is the single hottest call in the protocol.
+func InterpolateAtZero(points []Point) (Element, error) {
+	return InterpolateAt(points, Zero)
+}
+
+// LagrangeCoefficientsAtZero precomputes the weights λᵢ such that
+// P(0) = Σ λᵢ·yᵢ for the given x coordinates. Callers that reconstruct many
+// polynomials over the same point set (every aggregation round does) can pay
+// the inversions once.
+func LagrangeCoefficientsAtZero(xs []Element) ([]Element, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoPoints
+	}
+	seen := make(map[Element]struct{}, len(xs))
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			return nil, fmt.Errorf("%w: x=%v", ErrDuplicateX, x)
+		}
+		seen[x] = struct{}{}
+	}
+	coeffs := make([]Element, len(xs))
+	for i, xi := range xs {
+		num := One
+		den := One
+		for j, xj := range xs {
+			if j == i {
+				continue
+			}
+			num = num.Mul(xj.Neg())
+			den = den.Mul(xi.Sub(xj))
+		}
+		invDen, err := den.Inv()
+		if err != nil {
+			return nil, fmt.Errorf("lagrange coefficient %d: %w", i, err)
+		}
+		coeffs[i] = num.Mul(invDen)
+	}
+	return coeffs, nil
+}
+
+// Interpolate returns the full coefficient vector of the unique polynomial of
+// degree < len(points) through the points (Newton's divided differences would
+// also work; we build Lagrange basis polynomials explicitly since point sets
+// in this system are small, ≤ n ≤ 45).
+func Interpolate(points []Point) (Poly, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if err := checkDistinctX(points); err != nil {
+		return nil, err
+	}
+	result := make(Poly, len(points))
+	for i, pi := range points {
+		// basis_i(x) = Πⱼ≠ᵢ (x - xⱼ) / (xᵢ - xⱼ)
+		basis := Poly{One}
+		den := One
+		for j, pj := range points {
+			if j == i {
+				continue
+			}
+			basis = mulLinear(basis, pj.X.Neg()) // multiply by (x - xⱼ)
+			den = den.Mul(pi.X.Sub(pj.X))
+		}
+		invDen, err := den.Inv()
+		if err != nil {
+			return nil, fmt.Errorf("basis %d denominator: %w", i, err)
+		}
+		scaled := basis.Scale(pi.Y.Mul(invDen))
+		result = result.Add(scaled)
+	}
+	// Add may have grown result by padding; trim back to len(points).
+	return result[:len(points)], nil
+}
+
+// mulLinear multiplies p by the monic linear factor (x + c).
+func mulLinear(p Poly, c Element) Poly {
+	out := make(Poly, len(p)+1)
+	for i, v := range p {
+		out[i] = out[i].Add(v.Mul(c))
+		out[i+1] = out[i+1].Add(v)
+	}
+	return out
+}
+
+func checkDistinctX(points []Point) error {
+	seen := make(map[Element]struct{}, len(points))
+	for _, pt := range points {
+		if _, dup := seen[pt.X]; dup {
+			return fmt.Errorf("%w: x=%v", ErrDuplicateX, pt.X)
+		}
+		seen[pt.X] = struct{}{}
+	}
+	return nil
+}

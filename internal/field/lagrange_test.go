@@ -1,0 +1,208 @@
+package field
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestInterpolateAtZeroRecoversSecret(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	secret := New(987654321)
+	p, err := NewRandomPoly(secret, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([]Point, 4)
+	for i := range points {
+		x := New(uint64(i + 1))
+		points[i] = Point{X: x, Y: p.Eval(x)}
+	}
+	got, err := InterpolateAtZero(points)
+	if err != nil {
+		t.Fatalf("InterpolateAtZero error = %v", err)
+	}
+	if got != secret {
+		t.Errorf("recovered = %v, want %v", got, secret)
+	}
+}
+
+func TestInterpolateAnySubsetOfKPlus1(t *testing.T) {
+	// Degree-k polynomial is recoverable from ANY k+1 of n points — the
+	// fault-tolerance property S4 exploits.
+	rng := rand.New(rand.NewSource(2))
+	const k, n = 4, 10
+	secret := New(5555)
+	p, err := NewRandomPoly(secret, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]Point, n)
+	for i := range all {
+		x := New(uint64(i + 1))
+		all[i] = Point{X: x, Y: p.Eval(x)}
+	}
+	// Try several random (k+1)-subsets.
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(n)[:k+1]
+		subset := make([]Point, k+1)
+		for i, idx := range perm {
+			subset[i] = all[idx]
+		}
+		got, err := InterpolateAtZero(subset)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != secret {
+			t.Fatalf("trial %d: recovered %v, want %v", trial, got, secret)
+		}
+	}
+}
+
+func TestInterpolateTooFewPointsWrongSecret(t *testing.T) {
+	// With only k points of a degree-k polynomial the secret is information-
+	// theoretically hidden; interpolation of fewer points must (generically)
+	// NOT return the secret. This is the privacy property.
+	rng := rand.New(rand.NewSource(3))
+	const k = 5
+	secret := New(424242)
+	p, err := NewRandomPoly(secret, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([]Point, k) // one fewer than needed
+	for i := range points {
+		x := New(uint64(i + 1))
+		points[i] = Point{X: x, Y: p.Eval(x)}
+	}
+	got, err := InterpolateAtZero(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == secret {
+		t.Error("k points recovered a degree-k secret; collusion threshold broken")
+	}
+}
+
+func TestInterpolateErrors(t *testing.T) {
+	if _, err := InterpolateAtZero(nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty: error = %v, want ErrNoPoints", err)
+	}
+	dup := []Point{{X: One, Y: One}, {X: One, Y: New(2)}}
+	if _, err := InterpolateAtZero(dup); !errors.Is(err, ErrDuplicateX) {
+		t.Errorf("dup: error = %v, want ErrDuplicateX", err)
+	}
+}
+
+func TestInterpolateAtArbitraryPoint(t *testing.T) {
+	p := Poly{New(7), New(0), New(1)} // 7 + x²
+	points := []Point{
+		{X: New(1), Y: p.Eval(New(1))},
+		{X: New(2), Y: p.Eval(New(2))},
+		{X: New(3), Y: p.Eval(New(3))},
+	}
+	got, err := InterpolateAt(points, New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != New(107) {
+		t.Errorf("P(10) = %v, want 107", got)
+	}
+}
+
+func TestLagrangeCoefficientsAtZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := NewRandomPoly(New(31337), 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []Element{New(2), New(5), New(7), New(11)}
+	coeffs, err := LagrangeCoefficientsAtZero(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := p.EvalMany(xs)
+	got, err := Dot(coeffs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != New(31337) {
+		t.Errorf("Σλy = %v, want 31337", got)
+	}
+}
+
+func TestLagrangeCoefficientsErrors(t *testing.T) {
+	if _, err := LagrangeCoefficientsAtZero(nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty: %v, want ErrNoPoints", err)
+	}
+	if _, err := LagrangeCoefficientsAtZero([]Element{One, One}); !errors.Is(err, ErrDuplicateX) {
+		t.Errorf("dup: %v, want ErrDuplicateX", err)
+	}
+}
+
+func TestInterpolateFullPolynomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	orig, err := NewRandomPoly(New(99), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([]Point, 5)
+	for i := range points {
+		x := New(uint64(i + 3))
+		points[i] = Point{X: x, Y: orig.Eval(x)}
+	}
+	rec, err := Interpolate(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(orig) {
+		t.Fatalf("recovered degree %d, want %d", rec.Degree(), orig.Degree())
+	}
+	for i := range orig {
+		if rec[i] != orig[i] {
+			t.Errorf("coefficient %d = %v, want %v", i, rec[i], orig[i])
+		}
+	}
+}
+
+func TestInterpolateFullErrors(t *testing.T) {
+	if _, err := Interpolate(nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty: %v", err)
+	}
+	dup := []Point{{X: New(3), Y: One}, {X: New(3), Y: New(2)}}
+	if _, err := Interpolate(dup); !errors.Is(err, ErrDuplicateX) {
+		t.Errorf("dup: %v", err)
+	}
+}
+
+func TestPropInterpolateRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		deg := rng.Intn(8)
+		secret := randomCanonical(rng)
+		p, err := NewRandomPoly(secret, deg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points := make([]Point, deg+1)
+		used := map[Element]struct{}{}
+		for i := range points {
+			var x Element
+			for {
+				x = New(uint64(rng.Intn(1000) + 1))
+				if _, dup := used[x]; !dup {
+					break
+				}
+			}
+			used[x] = struct{}{}
+			points[i] = Point{X: x, Y: p.Eval(x)}
+		}
+		got, err := InterpolateAtZero(points)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != secret {
+			t.Fatalf("trial %d: got %v want %v", trial, got, secret)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package field
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewRandomPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	secret := New(12345)
+	p, err := NewRandomPoly(secret, 5, rng)
+	if err != nil {
+		t.Fatalf("NewRandomPoly error = %v", err)
+	}
+	if p.Degree() != 5 {
+		t.Errorf("Degree = %d, want 5", p.Degree())
+	}
+	if p.Constant() != secret {
+		t.Errorf("Constant = %v, want %v", p.Constant(), secret)
+	}
+	if p.Eval(Zero) != secret {
+		t.Errorf("Eval(0) = %v, want %v", p.Eval(Zero), secret)
+	}
+	if p[5].IsZero() {
+		t.Error("leading coefficient is zero; exact degree not enforced")
+	}
+}
+
+func TestNewRandomPolyDegreeZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := NewRandomPoly(New(7), 0, rng)
+	if err != nil {
+		t.Fatalf("NewRandomPoly error = %v", err)
+	}
+	if len(p) != 1 || p[0] != New(7) {
+		t.Errorf("degree-0 poly = %v, want [7]", p)
+	}
+}
+
+func TestNewRandomPolyNegativeDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := NewRandomPoly(One, -1, rng); !errors.Is(err, ErrDegree) {
+		t.Errorf("error = %v, want ErrDegree", err)
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	// p(x) = 3 + 2x + x²; p(5) = 3 + 10 + 25 = 38.
+	p := Poly{New(3), New(2), New(1)}
+	if got := p.Eval(New(5)); got != New(38) {
+		t.Errorf("Eval(5) = %v, want 38", got)
+	}
+	if got := p.Eval(Zero); got != New(3) {
+		t.Errorf("Eval(0) = %v, want 3", got)
+	}
+}
+
+func TestEvalEmpty(t *testing.T) {
+	var p Poly
+	if got := p.Eval(New(9)); got != Zero {
+		t.Errorf("empty Eval = %v, want 0", got)
+	}
+}
+
+func TestEvalMany(t *testing.T) {
+	p := Poly{New(1), New(1)} // 1 + x
+	got := p.EvalMany([]Element{New(0), New(1), New(2)})
+	want := []Element{New(1), New(2), New(3)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("EvalMany[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPolyAdd(t *testing.T) {
+	p := Poly{New(1), New(2)}
+	q := Poly{New(3), New(4), New(5)}
+	sum := p.Add(q)
+	want := Poly{New(4), New(6), New(5)}
+	if len(sum) != len(want) {
+		t.Fatalf("Add length = %d, want %d", len(sum), len(want))
+	}
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Errorf("Add[%d] = %v, want %v", i, sum[i], want[i])
+		}
+	}
+}
+
+func TestPolyAddIsPointwise(t *testing.T) {
+	// (p+q)(x) == p(x)+q(x) — the additive homomorphism SSS aggregation uses.
+	rng := rand.New(rand.NewSource(4))
+	p, err := NewRandomPoly(New(10), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewRandomPoly(New(20), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := p.Add(q)
+	for i := uint64(1); i <= 10; i++ {
+		x := New(i)
+		if sum.Eval(x) != p.Eval(x).Add(q.Eval(x)) {
+			t.Fatalf("pointwise add fails at x=%d", i)
+		}
+	}
+	if sum.Constant() != New(30) {
+		t.Errorf("sum secret = %v, want 30", sum.Constant())
+	}
+}
+
+func TestPolyScale(t *testing.T) {
+	p := Poly{New(1), New(2)}
+	s := p.Scale(New(3))
+	if s[0] != New(3) || s[1] != New(6) {
+		t.Errorf("Scale = %v, want [3 6]", s)
+	}
+}
+
+func TestPolyClone(t *testing.T) {
+	p := Poly{New(1), New(2)}
+	c := p.Clone()
+	c[0] = New(99)
+	if p[0] != New(1) {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestRandomElementUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		e, err := randomElement(rng)
+		if err != nil {
+			t.Fatalf("randomElement error = %v", err)
+		}
+		if uint64(e) >= Modulus {
+			t.Fatalf("randomElement out of range: %v", e)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package glossy
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/phy"
+	"iotmpc/internal/topology"
+)
+
+func BenchmarkFloodFlockLab(b *testing.B) {
+	ch, err := topology.FlockLab().Channel(phy.DefaultParams(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{Channel: ch, Initiator: 0, NTX: 6, PayloadBytes: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, rng, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloodDCube(b *testing.B) {
+	ch, err := topology.DCube().Channel(phy.DefaultParams(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{Channel: ch, Initiator: 0, NTX: 6, PayloadBytes: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, rng, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

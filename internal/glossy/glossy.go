@@ -1,0 +1,238 @@
+// Package glossy implements the Glossy concurrent-transmission flood
+// (Ferrari/Zimmerling et al., IPSN 2011): an initiator transmits a packet;
+// every node that receives it retransmits in the immediately following slot,
+// perfectly synchronized with every other relay of the same packet, so the
+// concurrent transmissions interfere constructively. Each node relays at most
+// NTX times and keeps its radio on from the flood start until its last
+// transmission (the "radio off at NTX" optimization in the original paper).
+//
+// Glossy is both the conceptual building block of MiniCast (which intersperses
+// many Glossy floods in one TDMA chain) and the network-wide time-sync
+// reference that makes slot-level synchronization possible; the simulation
+// assumes sync has been established by a Glossy flood at round start.
+package glossy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"iotmpc/internal/phy"
+	"iotmpc/internal/sim"
+)
+
+// Errors returned by the package.
+var (
+	// ErrBadConfig is returned for invalid flood configuration.
+	ErrBadConfig = errors.New("glossy: invalid configuration")
+)
+
+// Config parameterizes one flood.
+type Config struct {
+	// Channel is the radio environment.
+	Channel *phy.Channel
+	// Initiator is the flooding node.
+	Initiator int
+	// NTX is the per-node retransmission budget.
+	NTX int
+	// PayloadBytes sizes the flooded frame.
+	PayloadBytes int
+	// MaxSlots bounds the flood length; 0 selects a safe default of
+	// 4 × NTX × number of nodes.
+	MaxSlots int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Channel == nil:
+		return fmt.Errorf("%w: nil channel", ErrBadConfig)
+	case c.Initiator < 0 || c.Initiator >= c.Channel.NumNodes():
+		return fmt.Errorf("%w: initiator %d", ErrBadConfig, c.Initiator)
+	case c.NTX <= 0:
+		return fmt.Errorf("%w: NTX %d", ErrBadConfig, c.NTX)
+	case c.PayloadBytes < 0 || c.PayloadBytes > phy.MaxPSDU:
+		return fmt.Errorf("%w: payload %d", ErrBadConfig, c.PayloadBytes)
+	case c.MaxSlots < 0:
+		return fmt.Errorf("%w: max slots %d", ErrBadConfig, c.MaxSlots)
+	}
+	return nil
+}
+
+// Result reports one flood execution.
+type Result struct {
+	// Received[i] reports whether node i got the packet.
+	Received []bool
+	// FirstRxSlot[i] is the slot of first reception (-1 if never; 0 means
+	// the initiator's own slot-0 transmission).
+	FirstRxSlot []int
+	// Latency[i] is the virtual time from flood start to first reception.
+	Latency []time.Duration
+	// Slots is the number of slots the flood occupied.
+	Slots int
+	// Duration is Slots × slot length.
+	Duration time.Duration
+	// SlotLength is the per-slot duration used.
+	SlotLength time.Duration
+
+	initiator int
+}
+
+// Coverage returns the fraction of nodes (excluding the initiator) that
+// received the packet.
+func (r *Result) Coverage() float64 {
+	n := len(r.Received)
+	if n <= 1 {
+		return 1
+	}
+	got := 0
+	for i, ok := range r.Received {
+		if i != initiatorIndex(r) && ok {
+			got++
+		}
+	}
+	return float64(got) / float64(n-1)
+}
+
+func initiatorIndex(r *Result) int { return r.initiator }
+
+// Run executes one flood. The RNG drives fading and reception draws; the
+// ledger (optional) is credited with tx/rx time; the engine (optional) has
+// its clock advanced by the flood duration.
+func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ch := cfg.Channel
+	n := ch.NumNodes()
+	slotLen, err := ch.Params().SlotDuration(cfg.PayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = 4 * cfg.NTX * n
+	}
+
+	res := &Result{
+		Received:    make([]bool, n),
+		FirstRxSlot: make([]int, n),
+		Latency:     make([]time.Duration, n),
+		SlotLength:  slotLen,
+		initiator:   cfg.Initiator,
+	}
+	for i := range res.FirstRxSlot {
+		res.FirstRxSlot[i] = -1
+		res.Latency[i] = -1
+	}
+	res.Received[cfg.Initiator] = true
+	res.FirstRxSlot[cfg.Initiator] = 0
+	res.Latency[cfg.Initiator] = 0
+
+	txCount := make([]int, n)    // transmissions performed
+	txNextSlot := make([]int, n) // slot of next scheduled transmission (-1: none)
+	doneSlot := make([]int, n)   // slot after which the radio turned off (-1: still on)
+	for i := range txNextSlot {
+		txNextSlot[i] = -1
+		doneSlot[i] = -1
+	}
+	txNextSlot[cfg.Initiator] = 0
+
+	var transmitters []int
+	slot := 0
+	for ; slot < maxSlots; slot++ {
+		transmitters = transmitters[:0]
+		pending := false
+		for i := 0; i < n; i++ {
+			if txNextSlot[i] < 0 || txCount[i] >= cfg.NTX {
+				continue
+			}
+			pending = true
+			if txNextSlot[i] == slot {
+				transmitters = append(transmitters, i)
+			}
+		}
+		if !pending {
+			break
+		}
+		if len(transmitters) == 0 {
+			// Glossy's relay schedule alternates tx slots, so idle slots
+			// occur; the flood only ends when every budget is exhausted.
+			continue
+		}
+		// Receptions.
+		burstProb := ch.Params().InterferenceBurstProb
+		for rx := 0; rx < n; rx++ {
+			if res.Received[rx] || doneSlot[rx] >= 0 {
+				continue
+			}
+			if burstProb > 0 && rng.Float64() < burstProb {
+				continue // receiver blocked by an ambient interference burst
+			}
+			ok, err := ch.ReceiveConcurrentFast(rx, transmitters, rng)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Received[rx] = true
+				res.FirstRxSlot[rx] = slot
+				res.Latency[rx] = time.Duration(slot+1) * slotLen
+				// Glossy: retransmit in the immediately next slot.
+				txNextSlot[rx] = slot + 1
+			}
+		}
+		// Account transmissions and schedule follow-ups: Glossy alternates
+		// tx slots (tx, skip, tx, ...) so relays of the same wave stay
+		// synchronized.
+		for _, tx := range transmitters {
+			txCount[tx]++
+			if txCount[tx] < cfg.NTX {
+				txNextSlot[tx] = slot + 2
+			} else {
+				txNextSlot[tx] = -1
+				doneSlot[tx] = slot // radio off after final transmission
+			}
+		}
+	}
+	res.Slots = slot
+	res.Duration = time.Duration(slot) * slotLen
+
+	if ledger != nil {
+		if err := creditRadio(ledger, res, txCount, doneSlot, slotLen, slot); err != nil {
+			return nil, err
+		}
+	}
+	if engine != nil {
+		if err := engine.Advance(res.Duration); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Initiator returns the flood's initiating node.
+func (r *Result) Initiator() int { return r.initiator }
+
+// creditRadio converts the flood schedule into per-node tx/rx time: every
+// node is listening from slot 0 until it turns off (doneSlot, or flood end if
+// it never exhausted NTX), minus the slots it spent transmitting.
+func creditRadio(ledger *sim.RadioLedger, res *Result, txCount, doneSlot []int, slotLen time.Duration, totalSlots int) error {
+	for i := range txCount {
+		onSlots := totalSlots
+		if doneSlot[i] >= 0 {
+			onSlots = doneSlot[i] + 1
+		}
+		txSlots := txCount[i]
+		rxSlots := onSlots - txSlots
+		if rxSlots < 0 {
+			rxSlots = 0
+		}
+		err := ledger.AddBulk(i,
+			time.Duration(txSlots)*slotLen,
+			time.Duration(rxSlots)*slotLen)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

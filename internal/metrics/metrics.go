@@ -1,0 +1,179 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harness uses to summarize latency and radio-on-time samples across
+// Monte-Carlo repetitions: mean, median, arbitrary percentiles, and normal
+// confidence intervals.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNoSamples is returned when a statistic needs at least one sample.
+	ErrNoSamples = errors.New("metrics: no samples")
+	// ErrBadQuantile is returned for quantiles outside [0,1].
+	ErrBadQuantile = errors.New("metrics: quantile out of range")
+)
+
+// Series accumulates float64 samples. The zero value is ready to use.
+type Series struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration sample in milliseconds — the unit the
+// paper's figures use.
+func (s *Series) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean.
+func (s *Series) Mean() (float64, error) {
+	if len(s.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	total := 0.0
+	for _, v := range s.samples {
+		total += v
+	}
+	return total / float64(len(s.samples)), nil
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Series) StdDev() (float64, error) {
+	if len(s.samples) < 2 {
+		return 0, ErrNoSamples
+	}
+	mean, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.samples)-1)), nil
+}
+
+// Quantile returns the q-th sample quantile (linear interpolation).
+func (s *Series) Quantile(q float64) (float64, error) {
+	if len(s.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: %f", ErrBadQuantile, q)
+	}
+	s.ensureSorted()
+	if len(s.samples) == 1 {
+		return s.samples[0], nil
+	}
+	pos := q * float64(len(s.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.samples[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func (s *Series) Median() (float64, error) { return s.Quantile(0.5) }
+
+// Min returns the smallest sample.
+func (s *Series) Min() (float64, error) { return s.Quantile(0) }
+
+// Max returns the largest sample.
+func (s *Series) Max() (float64, error) { return s.Quantile(1) }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Series) CI95() (float64, error) {
+	sd, err := s.StdDev()
+	if err != nil {
+		return 0, err
+	}
+	return 1.96 * sd / math.Sqrt(float64(len(s.samples))), nil
+}
+
+// Summary bundles the statistics reported in experiment tables.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	CI95   float64 `json:"ci95"`
+}
+
+// Summarize computes a Summary over the series.
+func (s *Series) Summarize() (Summary, error) {
+	mean, err := s.Mean()
+	if err != nil {
+		return Summary{}, err
+	}
+	median, err := s.Median()
+	if err != nil {
+		return Summary{}, err
+	}
+	p95, err := s.Quantile(0.95)
+	if err != nil {
+		return Summary{}, err
+	}
+	minV, err := s.Min()
+	if err != nil {
+		return Summary{}, err
+	}
+	maxV, err := s.Max()
+	if err != nil {
+		return Summary{}, err
+	}
+	ci := 0.0
+	if s.Len() >= 2 {
+		ci, err = s.CI95()
+		if err != nil {
+			return Summary{}, err
+		}
+	}
+	return Summary{
+		N:      s.Len(),
+		Mean:   mean,
+		Median: median,
+		P95:    p95,
+		Min:    minV,
+		Max:    maxV,
+		CI95:   ci,
+	}, nil
+}
+
+func (s *Series) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Ratio returns a/b, the speedup/saving factor used in the paper's headline
+// claims ("6× faster", "7× lesser radio-on time").
+func Ratio(a, b float64) (float64, error) {
+	if b == 0 {
+		return 0, errors.New("metrics: ratio denominator is zero")
+	}
+	return a / b, nil
+}

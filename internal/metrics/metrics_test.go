@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func seriesOf(vals ...float64) *Series {
+	var s Series
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return &s
+}
+
+func TestMean(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4)
+	got, err := s.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Mean = %f, want 2.5", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	var s Series
+	if _, err := s.Mean(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("error = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s := seriesOf(2, 4, 4, 4, 5, 5, 7, 9)
+	got, err := s.StdDev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %f, want %f", got, want)
+	}
+	one := seriesOf(5)
+	if _, err := one.StdDev(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("single sample: %v, want ErrNoSamples", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := seriesOf(10, 20, 30, 40, 50)
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{0.25, 20},
+		{0.5, 30},
+		{0.75, 40},
+		{1, 50},
+		{0.125, 15}, // interpolated
+	}
+	for _, tt := range tests {
+		got, err := s.Quantile(tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%f) = %f, want %f", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	var empty Series
+	if _, err := empty.Quantile(0.5); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty: %v, want ErrNoSamples", err)
+	}
+	s := seriesOf(1)
+	if _, err := s.Quantile(1.5); !errors.Is(err, ErrBadQuantile) {
+		t.Errorf("q>1: %v, want ErrBadQuantile", err)
+	}
+	if _, err := s.Quantile(-0.1); !errors.Is(err, ErrBadQuantile) {
+		t.Errorf("q<0: %v, want ErrBadQuantile", err)
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	s := seriesOf(7)
+	got, err := s.Quantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("Quantile on singleton = %f, want 7", got)
+	}
+}
+
+func TestAddDurationUsesMilliseconds(t *testing.T) {
+	var s Series
+	s.AddDuration(1500 * time.Millisecond)
+	got, err := s.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1500 {
+		t.Errorf("duration sample = %f ms, want 1500", got)
+	}
+}
+
+func TestAddAfterQuantileKeepsOrder(t *testing.T) {
+	s := seriesOf(3, 1)
+	if _, err := s.Median(); err != nil {
+		t.Fatal(err)
+	}
+	s.Add(2)
+	med, err := s.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 2 {
+		t.Errorf("median after late Add = %f, want 2", med)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 10 || sum.Mean != 5.5 || sum.Min != 1 || sum.Max != 10 {
+		t.Errorf("Summary = %+v", sum)
+	}
+	if sum.CI95 <= 0 {
+		t.Errorf("CI95 = %f, want > 0", sum.CI95)
+	}
+	var empty Series
+	if _, err := empty.Summarize(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty Summarize: %v, want ErrNoSamples", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := seriesOf(4)
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CI95 != 0 {
+		t.Errorf("singleton CI95 = %f, want 0", sum.CI95)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r, err := Ratio(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 6 {
+		t.Errorf("Ratio = %f, want 6", r)
+	}
+	if _, err := Ratio(1, 0); err == nil {
+		t.Error("Ratio by zero: want error")
+	}
+}

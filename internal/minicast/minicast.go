@@ -1,0 +1,404 @@
+// Package minicast implements MiniCast (Saha et al., DCOSS 2017): efficient
+// many-to-many data sharing built on synchronous transmission and TDMA.
+//
+// MiniCast generalizes a Glossy flood from one packet to a *chain* of
+// packets: the chain has one sub-slot per data item, and every node that
+// relays the chain fills in the sub-slots for the items it currently holds.
+// The relay schedule is TDMA by hop level: the initiator transmits the chain,
+// then its first-hop neighbors transmit the chain concurrently (constructive
+// interference, as in Glossy), then the second hop, and so on. One pass of
+// the chain through all levels is a "wave"; the parameter NTX is the number
+// of waves each node transmits the full chain.
+//
+// Data diffuses outward within a wave (level ℓ hears level ℓ-1 earlier in
+// the same wave) and inward by one level per wave, so:
+//
+//   - items from a node h hops away need roughly h waves to arrive, and
+//   - all-to-all coverage needs NTX on the order of the network diameter,
+//     with margin for packet loss,
+//
+// which is exactly the non-linear NTX/coverage trade-off the paper's S4
+// exploits: a small NTX already delivers the items of nearby nodes while
+// full coverage costs disproportionately more.
+package minicast
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"iotmpc/internal/phy"
+	"iotmpc/internal/sim"
+)
+
+// Errors returned by the package.
+var (
+	// ErrBadConfig is returned for invalid chain configuration.
+	ErrBadConfig = errors.New("minicast: invalid configuration")
+)
+
+// Item is one sub-slot payload of the chain.
+type Item struct {
+	// Owner is the node that injects the item.
+	Owner int
+	// Dst is the destination node for point-to-point items (encrypted
+	// shares); -1 marks broadcast items (public-point sums). Dst is metadata
+	// for listen filters — every node may relay any item.
+	Dst int
+}
+
+// Config parameterizes one MiniCast dissemination round.
+type Config struct {
+	// Channel is the radio environment.
+	Channel *phy.Channel
+	// Initiator starts the chain and anchors the TDMA level schedule.
+	Initiator int
+	// NTX is the number of chain waves.
+	NTX int
+	// Items is the chain, in sub-slot order.
+	Items []Item
+	// PayloadBytes sizes each sub-slot frame.
+	PayloadBytes int
+	// LevelThreshold is the link PRR used to derive hop levels (default 0.5).
+	LevelThreshold float64
+	// ListenFilter, when non-nil, lets a node skip listening during specific
+	// sub-slots (radio duty-cycling). Nodes that skip a sub-slot can never
+	// relay that item, so filters trade energy for dissemination reach.
+	ListenFilter func(node int, it Item) bool
+	// StopListen, when non-nil, is evaluated per node before every phase;
+	// once true the node stops listening for the rest of the round (it still
+	// honors its transmit phases). have is the node's item bitmap and must
+	// not be mutated.
+	StopListen func(node int, have []bool) bool
+	// Failed marks crashed nodes: they neither transmit nor receive.
+	// Nil means no failures.
+	Failed []bool
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Channel == nil:
+		return fmt.Errorf("%w: nil channel", ErrBadConfig)
+	case c.Initiator < 0 || c.Initiator >= c.Channel.NumNodes():
+		return fmt.Errorf("%w: initiator %d", ErrBadConfig, c.Initiator)
+	case c.NTX <= 0:
+		return fmt.Errorf("%w: NTX %d", ErrBadConfig, c.NTX)
+	case len(c.Items) == 0:
+		return fmt.Errorf("%w: empty chain", ErrBadConfig)
+	case c.PayloadBytes < 0 || c.PayloadBytes > phy.MaxPSDU:
+		return fmt.Errorf("%w: payload %d", ErrBadConfig, c.PayloadBytes)
+	case c.Failed != nil && len(c.Failed) != c.Channel.NumNodes():
+		return fmt.Errorf("%w: Failed has %d entries for %d nodes",
+			ErrBadConfig, len(c.Failed), c.Channel.NumNodes())
+	}
+	for i, it := range c.Items {
+		if it.Owner < 0 || it.Owner >= c.Channel.NumNodes() {
+			return fmt.Errorf("%w: item %d owner %d", ErrBadConfig, i, it.Owner)
+		}
+		if it.Dst < -1 || it.Dst >= c.Channel.NumNodes() {
+			return fmt.Errorf("%w: item %d dst %d", ErrBadConfig, i, it.Dst)
+		}
+	}
+	return nil
+}
+
+// Result reports one dissemination round.
+type Result struct {
+	// Have[node][item] reports possession at round end.
+	Have [][]bool
+	// RxAt[node][item] is the virtual time (from round start) the node first
+	// held the item; 0 for items the node owns, -1 if never received.
+	RxAt [][]time.Duration
+	// StoppedAt[node] is when StopListen fired for the node (-1: never).
+	StoppedAt []time.Duration
+	// Waves, Levels and ChainLen describe the executed schedule.
+	Waves    int
+	Levels   int
+	ChainLen int
+	// SlotLen is the per-sub-slot duration, PhaseLen = ChainLen × SlotLen,
+	// Duration = Waves × Levels × PhaseLen.
+	SlotLen  time.Duration
+	PhaseLen time.Duration
+	Duration time.Duration
+}
+
+// CoverageOf returns the fraction of non-owner, non-failed nodes holding the
+// item at round end.
+func (r *Result) CoverageOf(item int) float64 {
+	n := len(r.Have)
+	if n <= 1 {
+		return 1
+	}
+	got, eligible := 0, 0
+	for node := 0; node < n; node++ {
+		if r.RxAt[node][item] == 0 { // owner
+			continue
+		}
+		eligible++
+		if r.Have[node][item] {
+			got++
+		}
+	}
+	if eligible == 0 {
+		return 1
+	}
+	return float64(got) / float64(eligible)
+}
+
+// MeanCoverage averages CoverageOf over all items.
+func (r *Result) MeanCoverage() float64 {
+	if r.ChainLen == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < r.ChainLen; i++ {
+		total += r.CoverageOf(i)
+	}
+	return total / float64(r.ChainLen)
+}
+
+// Run executes one MiniCast round. The RNG drives reception draws; ledger
+// (optional) accumulates radio time; engine (optional) advances by Duration.
+func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ch := cfg.Channel
+	n := ch.NumNodes()
+	chainLen := len(cfg.Items)
+
+	slotLen, err := ch.Params().SlotDuration(cfg.PayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	threshold := cfg.LevelThreshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	levelOf, levels, err := hopLevels(ch, cfg.Initiator, threshold)
+	if err != nil {
+		return nil, err
+	}
+	numLevels := len(levels)
+	phaseLen := time.Duration(chainLen) * slotLen
+
+	res := &Result{
+		Have:      make([][]bool, n),
+		RxAt:      make([][]time.Duration, n),
+		StoppedAt: make([]time.Duration, n),
+		Waves:     cfg.NTX,
+		Levels:    numLevels,
+		ChainLen:  chainLen,
+		SlotLen:   slotLen,
+		PhaseLen:  phaseLen,
+		Duration:  time.Duration(cfg.NTX) * time.Duration(numLevels) * phaseLen,
+	}
+	for node := 0; node < n; node++ {
+		res.Have[node] = make([]bool, chainLen)
+		res.RxAt[node] = make([]time.Duration, chainLen)
+		for i := range res.RxAt[node] {
+			res.RxAt[node][i] = -1
+		}
+		res.StoppedAt[node] = -1
+	}
+	// Owners hold their items from the start (failed owners hold them too,
+	// but will never transmit).
+	for i, it := range cfg.Items {
+		res.Have[it.Owner][i] = true
+		res.RxAt[it.Owner][i] = 0
+	}
+
+	// rxWave[node][item] is the wave in which the node obtained the item;
+	// an item received in wave w is relayed from wave w+1 on (a node fills a
+	// chain sub-slot only with data it held when its transmission turn came,
+	// so data moves at most one hop per wave). Owners hold from wave -1.
+	rxWave := make([][]int32, n)
+	for node := 0; node < n; node++ {
+		rxWave[node] = make([]int32, chainLen)
+		for i := range rxWave[node] {
+			rxWave[node][i] = int32(cfg.NTX) + 1 // sentinel: not held
+		}
+	}
+	for i, it := range cfg.Items {
+		rxWave[it.Owner][i] = -1
+	}
+
+	// holdersAtLevel[ℓ][item] counts level-ℓ nodes holding the item; lets a
+	// phase skip sub-slots with nothing to transmit.
+	holdersAtLevel := make([][]int, numLevels)
+	for ℓ := range holdersAtLevel {
+		holdersAtLevel[ℓ] = make([]int, chainLen)
+	}
+	for i, it := range cfg.Items {
+		if ℓ := levelOf[it.Owner]; ℓ >= 0 {
+			holdersAtLevel[ℓ][i]++
+		}
+	}
+	// listenSlots[node] counts sub-slots the node's filter admits.
+	listenSlots := make([]int, n)
+	for node := 0; node < n; node++ {
+		if cfg.ListenFilter == nil {
+			listenSlots[node] = chainLen
+			continue
+		}
+		for _, it := range cfg.Items {
+			if cfg.ListenFilter(node, it) {
+				listenSlots[node]++
+			}
+		}
+	}
+	stopped := make([]bool, n)
+	jammedScratch := make([]bool, n)
+
+	var txers []int
+	for wave := 0; wave < cfg.NTX; wave++ {
+		for ℓ := 0; ℓ < numLevels; ℓ++ {
+			phaseStart := (time.Duration(wave)*time.Duration(numLevels) + time.Duration(ℓ)) * phaseLen
+
+			// Evaluate stop predicates at phase boundaries.
+			if cfg.StopListen != nil {
+				for node := 0; node < n; node++ {
+					if stopped[node] || isFailed(cfg, node) {
+						continue
+					}
+					if cfg.StopListen(node, res.Have[node]) {
+						stopped[node] = true
+						res.StoppedAt[node] = phaseStart
+					}
+				}
+			}
+
+			// Ambient interference bursts block whole phases per node.
+			burstProb := ch.Params().InterferenceBurstProb
+			jammed := jammedScratch
+			for node := 0; node < n; node++ {
+				jammed[node] = burstProb > 0 && rng.Float64() < burstProb
+			}
+
+			levelNodes := levels[ℓ]
+			// Snapshot per-node transmit-eligible item counts before the
+			// phase mutates holdings (for radio accounting).
+			txEligible := make(map[int]int, len(levelNodes))
+			for _, node := range levelNodes {
+				count := 0
+				for i := range cfg.Items {
+					if rxWave[node][i] < int32(wave) {
+						count++
+					}
+				}
+				txEligible[node] = count
+			}
+			for itemIdx, it := range cfg.Items {
+				if holdersAtLevel[ℓ][itemIdx] == 0 {
+					continue // nobody at this level can transmit the item
+				}
+				txers = txers[:0]
+				for _, node := range levelNodes {
+					if rxWave[node][itemIdx] < int32(wave) && !isFailed(cfg, node) {
+						txers = append(txers, node)
+					}
+				}
+				if len(txers) == 0 {
+					continue
+				}
+				rxTime := phaseStart + time.Duration(itemIdx+1)*slotLen
+				for rx := 0; rx < n; rx++ {
+					if res.Have[rx][itemIdx] || stopped[rx] || jammed[rx] || isFailed(cfg, rx) {
+						continue
+					}
+					if cfg.ListenFilter != nil && !cfg.ListenFilter(rx, it) {
+						continue
+					}
+					// A same-level node not holding the item listens too.
+					ok, err := ch.ReceiveConcurrentFast(rx, txers, rng)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					res.Have[rx][itemIdx] = true
+					res.RxAt[rx][itemIdx] = rxTime
+					rxWave[rx][itemIdx] = int32(wave)
+					if lv := levelOf[rx]; lv >= 0 {
+						holdersAtLevel[lv][itemIdx]++
+					}
+				}
+			}
+
+			// Radio accounting for the phase.
+			if ledger != nil {
+				if err := creditPhase(ledger, cfg, levelOf, ℓ, txEligible, listenSlots, stopped, slotLen, chainLen); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if engine != nil {
+		if err := engine.Advance(res.Duration); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func isFailed(cfg Config, node int) bool {
+	return cfg.Failed != nil && cfg.Failed[node]
+}
+
+// creditPhase charges each node's radio for one phase: transmitting nodes pay
+// tx for the sub-slots they fill and rx for the remainder (they listen for
+// items they lack); listening nodes pay rx for the sub-slots their filter
+// admits; stopped and failed nodes pay nothing beyond their own tx duties.
+func creditPhase(ledger *sim.RadioLedger, cfg Config, levelOf []int, phase int,
+	txEligible map[int]int, listenSlots []int, stopped []bool, slotLen time.Duration, chainLen int) error {
+	for node := range levelOf {
+		if isFailed(cfg, node) {
+			continue
+		}
+		var txSlots, rxSlots int
+		if levelOf[node] == phase {
+			txSlots = txEligible[node]
+			if !stopped[node] {
+				rxSlots = chainLen - txSlots
+			}
+		} else if !stopped[node] {
+			rxSlots = listenSlots[node]
+		}
+		if rxSlots < 0 {
+			rxSlots = 0
+		}
+		err := ledger.AddBulk(node,
+			time.Duration(txSlots)*slotLen,
+			time.Duration(rxSlots)*slotLen)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hopLevels partitions nodes into TDMA levels by hop distance from the
+// initiator. Unreachable nodes get level -1 and never transmit.
+func hopLevels(ch *phy.Channel, initiator int, threshold float64) ([]int, [][]int, error) {
+	dist, err := ch.HopDistances(initiator, threshold)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxLevel := 0
+	for _, d := range dist {
+		if d > maxLevel {
+			maxLevel = d
+		}
+	}
+	levels := make([][]int, maxLevel+1)
+	for node, d := range dist {
+		if d < 0 {
+			continue
+		}
+		levels[d] = append(levels[d], node)
+	}
+	return dist, levels, nil
+}

@@ -1,0 +1,207 @@
+// Package paillier implements the Paillier additively-homomorphic
+// cryptosystem (Paillier, EUROCRYPT 1999) — the representative of the
+// "computation-intensive Homomorphic Encryption" family of PPDA schemes the
+// paper positions itself against. It exists so the repository can reproduce
+// that comparison quantitatively: internal/hepda builds an HE-based
+// aggregation protocol on top of it and the benchmarks pit it against S4.
+//
+//	Enc(m) = g^m · r^N  mod N²     with g = N+1, random r ∈ Z*_N
+//	Enc(a)·Enc(b) = Enc(a+b)       (the homomorphism)
+//	Dec(c) = L(c^λ mod N²)·μ mod N with L(x) = (x−1)/N
+//
+// Not hardened for production use (no constant-time guarantees); it is a
+// faithful functional implementation whose costs are modeled separately for
+// the constrained-device latency accounting.
+package paillier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Errors returned by the package.
+var (
+	// ErrKeySize is returned for too-small moduli.
+	ErrKeySize = errors.New("paillier: key size too small")
+	// ErrMessageRange is returned when a plaintext is outside [0, N).
+	ErrMessageRange = errors.New("paillier: message out of range")
+	// ErrCiphertextRange is returned when a ciphertext is outside [0, N²).
+	ErrCiphertextRange = errors.New("paillier: ciphertext out of range")
+)
+
+// PublicKey encrypts and aggregates.
+type PublicKey struct {
+	// N is the modulus p·q.
+	N *big.Int
+	// NSquared caches N².
+	NSquared *big.Int
+}
+
+// PrivateKey decrypts.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^λ mod N²))⁻¹ mod N
+}
+
+// GenerateKey creates a key pair with an N of the given bit length, drawing
+// primes from rng (pass a seeded reader for reproducible simulations).
+func GenerateKey(bits int, rng io.Reader) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("%w: %d bits", ErrKeySize, bits)
+	}
+	for {
+		p, err := samplePrime(rng, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sample p: %w", err)
+		}
+		q, err := samplePrime(rng, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sample q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		qm1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+
+		nsq := new(big.Int).Mul(n, n)
+		pk := PublicKey{N: n, NSquared: nsq}
+		// With g = N+1: g^λ mod N² = 1 + λN, so L(g^λ) = λ and μ = λ⁻¹ mod N.
+		mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+		if mu == nil {
+			continue // λ not invertible mod N (p | λ); re-draw
+		}
+		return &PrivateKey{PublicKey: pk, lambda: lambda, mu: mu}, nil
+	}
+}
+
+// samplePrime draws a probable prime of exactly the given bit length from
+// rng. Unlike crypto/rand.Prime it is strictly deterministic in the reader
+// (the stdlib version intentionally consumes a random extra byte), which the
+// simulation needs for reproducible runs.
+func samplePrime(rng io.Reader, bits int) (*big.Int, error) {
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	for {
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, err
+		}
+		p := new(big.Int).SetBytes(buf)
+		// Force exact bit length and oddness.
+		p.SetBit(p, bits-1, 1)
+		p.SetBit(p, 0, 1)
+		if p.BitLen() > bits {
+			p.Rsh(p, uint(p.BitLen()-bits))
+			p.SetBit(p, 0, 1)
+		}
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+}
+
+// CiphertextBytes returns the wire size of one ciphertext (an element of
+// Z_{N²}).
+func (pk *PublicKey) CiphertextBytes() int {
+	return (pk.NSquared.BitLen() + 7) / 8
+}
+
+// Encrypt encrypts m ∈ [0, N).
+func (pk *PublicKey) Encrypt(m *big.Int, rng io.Reader) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+	}
+	// g = N+1 shortcut: g^m = 1 + mN (mod N²).
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.NSquared)
+
+	r, err := pk.sampleUnit(rng)
+	if err != nil {
+		return nil, err
+	}
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.NSquared)
+	return c, nil
+}
+
+// sampleUnit draws r ∈ [1, N) with gcd(r, N) = 1, deterministically in rng.
+func (pk *PublicKey) sampleUnit(rng io.Reader) (*big.Int, error) {
+	one := big.NewInt(1)
+	gcd := new(big.Int)
+	buf := make([]byte, (pk.N.BitLen()+7)/8)
+	for {
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, fmt.Errorf("sample r: %w", err)
+		}
+		r := new(big.Int).SetBytes(buf)
+		r.Mod(r, pk.N)
+		if r.Sign() == 0 {
+			continue
+		}
+		if gcd.GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Add homomorphically adds two ciphertexts: Dec(Add(a,b)) = Dec(a)+Dec(b).
+func (pk *PublicKey) Add(a, b *big.Int) (*big.Int, error) {
+	if err := pk.checkCiphertext(a); err != nil {
+		return nil, err
+	}
+	if err := pk.checkCiphertext(b); err != nil {
+		return nil, err
+	}
+	out := new(big.Int).Mul(a, b)
+	out.Mod(out, pk.NSquared)
+	return out, nil
+}
+
+// AddPlain homomorphically adds a plaintext constant to a ciphertext.
+func (pk *PublicKey) AddPlain(c *big.Int, m *big.Int) (*big.Int, error) {
+	if err := pk.checkCiphertext(c); err != nil {
+		return nil, err
+	}
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+	}
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.NSquared)
+	out := gm.Mul(gm, c)
+	out.Mod(out, pk.NSquared)
+	return out, nil
+}
+
+func (pk *PublicKey) checkCiphertext(c *big.Int) error {
+	if c == nil || c.Sign() < 0 || c.Cmp(pk.NSquared) >= 0 {
+		return fmt.Errorf("%w: %v", ErrCiphertextRange, c)
+	}
+	return nil
+}
+
+// Decrypt recovers the plaintext of c.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if err := sk.checkCiphertext(c); err != nil {
+		return nil, err
+	}
+	x := new(big.Int).Exp(c, sk.lambda, sk.NSquared)
+	// L(x) = (x-1)/N
+	x.Sub(x, big.NewInt(1))
+	x.Div(x, sk.N)
+	x.Mul(x, sk.mu)
+	x.Mod(x, sk.N)
+	return x, nil
+}

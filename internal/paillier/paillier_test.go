@@ -1,0 +1,186 @@
+package paillier
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// testKey generates a small (fast) key for tests with deterministic
+// randomness.
+func testKey(t *testing.T, bits int, seed int64) *PrivateKey {
+	t.Helper()
+	sk, err := GenerateKey(bits, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	sk := testKey(t, 256, 1)
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []int64{0, 1, 42, 1 << 40} {
+		msg := big.NewInt(m)
+		c, err := sk.Encrypt(msg, rng)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Cmp(msg) != 0 {
+			t.Errorf("roundtrip %d -> %v", m, got)
+		}
+	}
+}
+
+func TestHomomorphicAddition(t *testing.T) {
+	sk := testKey(t, 256, 3)
+	rng := rand.New(rand.NewSource(4))
+	a, err := sk.Encrypt(big.NewInt(1234), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sk.Encrypt(big.NewInt(8766), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sk.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 10000 {
+		t.Errorf("Dec(Enc(1234)·Enc(8766)) = %v, want 10000", got)
+	}
+}
+
+func TestHomomorphicChainAggregation(t *testing.T) {
+	// The in-network aggregation pattern: fold many ciphertexts.
+	sk := testKey(t, 256, 5)
+	rng := rand.New(rand.NewSource(6))
+	var want int64
+	acc, err := sk.Encrypt(big.NewInt(0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 20; i++ {
+		want += i * 100
+		c, err := sk.Encrypt(big.NewInt(i*100), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err = sk.Add(acc, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sk.Decrypt(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != want {
+		t.Errorf("aggregate = %v, want %d", got, want)
+	}
+}
+
+func TestAddPlain(t *testing.T) {
+	sk := testKey(t, 256, 7)
+	rng := rand.New(rand.NewSource(8))
+	c, err := sk.Encrypt(big.NewInt(50), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.AddPlain(c, big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 57 {
+		t.Errorf("AddPlain = %v, want 57", got)
+	}
+}
+
+func TestCiphertextRandomized(t *testing.T) {
+	sk := testKey(t, 256, 9)
+	rng := rand.New(rand.NewSource(10))
+	a, err := sk.Encrypt(big.NewInt(5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sk.Encrypt(big.NewInt(5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) == 0 {
+		t.Error("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	sk := testKey(t, 256, 11)
+	rng := rand.New(rand.NewSource(12))
+
+	if _, err := GenerateKey(32, rng); !errors.Is(err, ErrKeySize) {
+		t.Errorf("small key: %v, want ErrKeySize", err)
+	}
+	if _, err := sk.Encrypt(big.NewInt(-1), rng); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("negative message: %v, want ErrMessageRange", err)
+	}
+	if _, err := sk.Encrypt(sk.N, rng); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("message = N: %v, want ErrMessageRange", err)
+	}
+	if _, err := sk.Decrypt(new(big.Int).Neg(big.NewInt(1))); !errors.Is(err, ErrCiphertextRange) {
+		t.Errorf("bad ciphertext: %v, want ErrCiphertextRange", err)
+	}
+	if _, err := sk.Add(big.NewInt(1), sk.NSquared); !errors.Is(err, ErrCiphertextRange) {
+		t.Errorf("Add out of range: %v, want ErrCiphertextRange", err)
+	}
+	if _, err := sk.AddPlain(big.NewInt(1), sk.N); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("AddPlain out of range: %v, want ErrMessageRange", err)
+	}
+}
+
+func TestCiphertextBytes(t *testing.T) {
+	sk := testKey(t, 256, 13)
+	got := sk.CiphertextBytes()
+	if got < 512/8 || got > 512/8+1 {
+		t.Errorf("CiphertextBytes = %d, want ~%d (N² of a 256-bit N)", got, 512/8)
+	}
+}
+
+func TestDeterministicKeyGeneration(t *testing.T) {
+	a := testKey(t, 128, 42)
+	b := testKey(t, 128, 42)
+	if a.N.Cmp(b.N) != 0 {
+		t.Error("same seed produced different keys")
+	}
+}
+
+func TestPropRoundtripRandomMessages(t *testing.T) {
+	sk := testKey(t, 192, 14)
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 25; i++ {
+		m := new(big.Int).Rand(rng, sk.N)
+		c, err := sk.Encrypt(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("roundtrip failed for %v", m)
+		}
+	}
+}

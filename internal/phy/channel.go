@@ -1,0 +1,308 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Position is a node location in meters.
+type Position struct {
+	X float64
+	Y float64
+}
+
+// Distance returns the Euclidean distance to other.
+func (p Position) Distance(other Position) float64 {
+	dx := p.X - other.X
+	dy := p.Y - other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Errors returned by channel construction and queries.
+var (
+	// ErrNoNodes is returned when a channel is built without nodes.
+	ErrNoNodes = errors.New("phy: no nodes")
+	// ErrNodeIndex is returned for out-of-range node indices.
+	ErrNodeIndex = errors.New("phy: node index out of range")
+)
+
+// Channel is the static radio environment between a fixed set of nodes:
+// pairwise mean RSSI (path loss + frozen shadowing) and the derived packet
+// reception ratios. Per-packet randomness (fading, reception draws) is
+// injected by callers through an explicit *rand.Rand so trials are
+// reproducible.
+type Channel struct {
+	params    Params
+	positions []Position
+	// rssi[i][j] is the mean received power at j when i transmits.
+	rssi [][]float64
+}
+
+// NewChannel builds the environment. seed freezes the shadowing realization;
+// two channels built with the same inputs are identical.
+func NewChannel(params Params, positions []Position, seed int64) (*Channel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(positions) == 0 {
+		return nil, ErrNoNodes
+	}
+	n := len(positions)
+	pos := make([]Position, n)
+	copy(pos, positions)
+
+	rng := rand.New(rand.NewSource(seed))
+	rssi := make([][]float64, n)
+	for i := range rssi {
+		rssi[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := pos[i].Distance(pos[j])
+			if d < 0.1 {
+				d = 0.1 // clamp: co-located testbed nodes still have some separation
+			}
+			loss := params.RefLossDB + 10*params.PathLossExponent*math.Log10(d)
+			shadow := rng.NormFloat64() * params.ShadowingSigmaDB
+			p := params.TxPowerDBm - loss - shadow
+			// Shadowing is reciprocal: same obstruction both ways.
+			rssi[i][j] = p
+			rssi[j][i] = p
+		}
+		rssi[i][i] = math.Inf(-1) // a node never receives itself
+	}
+	return &Channel{params: params, positions: pos, rssi: rssi}, nil
+}
+
+// NumNodes returns the number of nodes in the environment.
+func (c *Channel) NumNodes() int { return len(c.positions) }
+
+// Params returns the PHY parameterization of the channel.
+func (c *Channel) Params() Params { return c.params }
+
+// MeanRSSI returns the average received power at rx for a transmission from
+// tx, in dBm.
+func (c *Channel) MeanRSSI(tx, rx int) (float64, error) {
+	if err := c.checkIndex(tx, rx); err != nil {
+		return 0, err
+	}
+	return c.rssi[tx][rx], nil
+}
+
+// PRR returns the long-run packet reception ratio of the directed link
+// tx→rx under the RSSI→PRR sigmoid (no fading draw; fading is averaged out).
+func (c *Channel) PRR(tx, rx int) (float64, error) {
+	if err := c.checkIndex(tx, rx); err != nil {
+		return 0, err
+	}
+	return c.prrFromRSSI(c.rssi[tx][rx]), nil
+}
+
+func (c *Channel) prrFromRSSI(rssi float64) float64 {
+	if rssi < c.params.SensitivityDBm {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-(rssi-c.params.PRRMidpointDBm)/c.params.PRRWidthDB))
+}
+
+// ReceiveSingle draws one reception attempt for a lone transmission tx→rx,
+// applying per-packet fading.
+func (c *Channel) ReceiveSingle(tx, rx int, rng *rand.Rand) (bool, error) {
+	if err := c.checkIndex(tx, rx); err != nil {
+		return false, err
+	}
+	faded := c.rssi[tx][rx] + rng.NormFloat64()*c.params.FadingSigmaDB
+	return rng.Float64() < c.prrFromRSSI(faded), nil
+}
+
+// ReceiveConcurrent draws one reception attempt at rx when every node in
+// transmitters sends the SAME packet in the same synchronized slot — the
+// Glossy/MiniCast situation. Constructive interference is modeled as the
+// strongest incoming signal plus CTGainDB per doubling of transmitter count
+// (a standard first-order model for CT reliability gain).
+func (c *Channel) ReceiveConcurrent(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	if len(transmitters) == 0 {
+		return false, nil
+	}
+	best := math.Inf(-1)
+	for _, tx := range transmitters {
+		if err := c.checkIndex(tx, rx); err != nil {
+			return false, err
+		}
+		if tx == rx {
+			return false, nil // a transmitting node cannot receive in the same slot
+		}
+		faded := c.rssi[tx][rx] + rng.NormFloat64()*c.params.FadingSigmaDB
+		if faded > best {
+			best = faded
+		}
+	}
+	if len(transmitters) >= 2 && rng.Float64() < c.params.CTBeatingLoss {
+		return false, nil // beating corrupted the superposition
+	}
+	ctBoost := c.params.CTGainDB * math.Log2(float64(len(transmitters)))
+	return rng.Float64() < c.prrFromRSSI(best+ctBoost), nil
+}
+
+// ReceiveConcurrentFast is the hot-path variant of ReceiveConcurrent used by
+// the TDMA chain simulation, which draws millions of sub-slot receptions per
+// round. It applies one fading draw to the strongest mean link instead of one
+// per transmitter; for the small fading sigma of a static testbed the
+// difference is second-order, and it makes the cost independent of the
+// transmitter count.
+func (c *Channel) ReceiveConcurrentFast(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	if len(transmitters) == 0 {
+		return false, nil
+	}
+	best := math.Inf(-1)
+	for _, tx := range transmitters {
+		if err := c.checkIndex(tx, rx); err != nil {
+			return false, err
+		}
+		if tx == rx {
+			return false, nil
+		}
+		if r := c.rssi[tx][rx]; r > best {
+			best = r
+		}
+	}
+	if len(transmitters) >= 2 && rng.Float64() < c.params.CTBeatingLoss {
+		return false, nil // beating corrupted the superposition
+	}
+	faded := best + rng.NormFloat64()*c.params.FadingSigmaDB +
+		c.params.CTGainDB*math.Log2(float64(len(transmitters)))
+	return rng.Float64() < c.prrFromRSSI(faded), nil
+}
+
+// ReceiveCapture draws a reception attempt at rx when the transmitters carry
+// DIFFERENT packets (a collision). The strongest signal is captured iff it
+// exceeds the aggregate of the rest by CaptureThresholdDB; the function
+// returns the index into transmitters of the captured sender, or -1.
+func (c *Channel) ReceiveCapture(rx int, transmitters []int, rng *rand.Rand) (int, error) {
+	if len(transmitters) == 0 {
+		return -1, nil
+	}
+	powers := make([]float64, len(transmitters))
+	bestIdx, best := -1, math.Inf(-1)
+	for i, tx := range transmitters {
+		if err := c.checkIndex(tx, rx); err != nil {
+			return -1, err
+		}
+		if tx == rx {
+			return -1, nil
+		}
+		powers[i] = c.rssi[tx][rx] + rng.NormFloat64()*c.params.FadingSigmaDB
+		if powers[i] > best {
+			best, bestIdx = powers[i], i
+		}
+	}
+	// Sum interference in linear (mW) domain.
+	var interfMW float64
+	for i, p := range powers {
+		if i == bestIdx {
+			continue
+		}
+		interfMW += math.Pow(10, p/10)
+	}
+	if interfMW > 0 {
+		sir := best - 10*math.Log10(interfMW)
+		if sir < c.params.CaptureThresholdDB {
+			return -1, nil
+		}
+	}
+	if rng.Float64() < c.prrFromRSSI(best) {
+		return bestIdx, nil
+	}
+	return -1, nil
+}
+
+// Neighbors returns every node whose link PRR from node i meets the
+// threshold, in ascending index order. This is what bootstrapping uses to
+// learn "which neighbor is reachable".
+func (c *Channel) Neighbors(i int, prrThreshold float64) ([]int, error) {
+	if err := c.checkIndex(i, i); err != nil {
+		return nil, err
+	}
+	var out []int
+	for j := 0; j < len(c.positions); j++ {
+		if j == i {
+			continue
+		}
+		prr, err := c.PRR(i, j)
+		if err != nil {
+			return nil, err
+		}
+		if prr >= prrThreshold {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// HopDistances returns the minimum hop count from src to every node over the
+// connectivity graph induced by links with PRR >= prrThreshold. Unreachable
+// nodes get -1. Used to derive network diameter and full-coverage NTX.
+func (c *Channel) HopDistances(src int, prrThreshold float64) ([]int, error) {
+	if err := c.checkIndex(src, src); err != nil {
+		return nil, err
+	}
+	n := len(c.positions)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if v == u || dist[v] >= 0 {
+				continue
+			}
+			prr, err := c.PRR(u, v)
+			if err != nil {
+				return nil, err
+			}
+			if prr >= prrThreshold {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Diameter returns the maximum finite hop distance between any pair under
+// the PRR threshold, and whether the graph is connected.
+func (c *Channel) Diameter(prrThreshold float64) (int, bool, error) {
+	n := len(c.positions)
+	diameter := 0
+	connected := true
+	for src := 0; src < n; src++ {
+		dist, err := c.HopDistances(src, prrThreshold)
+		if err != nil {
+			return 0, false, err
+		}
+		for _, d := range dist {
+			if d < 0 {
+				connected = false
+				continue
+			}
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	return diameter, connected, nil
+}
+
+func (c *Channel) checkIndex(a, b int) error {
+	n := len(c.positions)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return fmt.Errorf("%w: (%d,%d) with %d nodes", ErrNodeIndex, a, b, n)
+	}
+	return nil
+}

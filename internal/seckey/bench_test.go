@@ -1,0 +1,52 @@
+package seckey
+
+import (
+	"testing"
+
+	"iotmpc/internal/field"
+)
+
+func BenchmarkSealShare(b *testing.B) {
+	s := NewStore(MasterFromSeed(1))
+	key, err := s.PairKey(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := PacketContext{Round: 1, Sender: 1, Receiver: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Slot = uint32(i)
+		if _, err := SealShare(key, ctx, field.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenShare(b *testing.B) {
+	s := NewStore(MasterFromSeed(1))
+	key, err := s.PairKey(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := PacketContext{Round: 1, Sender: 1, Receiver: 2, Slot: 9}
+	sealed, err := SealShare(key, ctx, field.New(77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenShare(key, ctx, sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPairKeyDerivation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewStore(MasterFromSeed(uint64(i)))
+		if _, err := s.PairKey(i%40, (i+1)%40+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package seckey provides the secure-channel substrate the paper assumes is
+// established "during the bootstrapping phase": pairwise AES-128 keys between
+// every pair of nodes, plus authenticated encryption of share packets
+// (AES-128-CTR for confidentiality, AES-CMAC for integrity — both built on
+// the single AES-128 primitive the nRF52840 accelerates in hardware).
+//
+// Key derivation is deterministic from a network master secret, mirroring the
+// common commissioning model where a network key is installed at deployment
+// and per-link keys are derived rather than exchanged.
+package seckey
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// Key is a pairwise AES-128 key.
+type Key [KeySize]byte
+
+// Errors returned by the package.
+var (
+	// ErrSelfPair is returned when a node asks for a key with itself.
+	ErrSelfPair = errors.New("seckey: no pairwise key with self")
+	// ErrBadNodeID is returned for negative node IDs.
+	ErrBadNodeID = errors.New("seckey: invalid node id")
+)
+
+// Store derives and caches pairwise keys for a network commissioned with a
+// shared master secret. Store is not safe for concurrent use; each simulated
+// node owns its own Store (as a real node owns its key RAM).
+type Store struct {
+	master Key
+	cache  map[pairKey]Key
+}
+
+type pairKey struct{ lo, hi int }
+
+// NewStore creates a key store from a 16-byte master secret.
+func NewStore(master Key) *Store {
+	return &Store{
+		master: master,
+		cache:  make(map[pairKey]Key),
+	}
+}
+
+// MasterFromSeed expands an arbitrary seed value into a master key; used by
+// simulations to commission a whole network deterministically.
+func MasterFromSeed(seed uint64) Key {
+	var k Key
+	binary.LittleEndian.PutUint64(k[:8], seed)
+	binary.LittleEndian.PutUint64(k[8:], seed^0x9e3779b97f4a7c15)
+	return k
+}
+
+// PairKey returns the AES-128 key shared by nodes a and b. Derivation is
+// symmetric (PairKey(a,b) == PairKey(b,a)): the key is the AES encryption,
+// under the master key, of a block encoding the ordered pair (min, max).
+func (s *Store) PairKey(a, b int) (Key, error) {
+	if a < 0 || b < 0 {
+		return Key{}, fmt.Errorf("%w: (%d,%d)", ErrBadNodeID, a, b)
+	}
+	if a == b {
+		return Key{}, fmt.Errorf("%w: node %d", ErrSelfPair, a)
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	ck := pairKey{lo: lo, hi: hi}
+	if k, ok := s.cache[ck]; ok {
+		return k, nil
+	}
+	block, err := aes.NewCipher(s.master[:])
+	if err != nil {
+		// Unreachable: master is always 16 bytes.
+		return Key{}, fmt.Errorf("derive cipher: %w", err)
+	}
+	var in, out [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(in[:8], uint64(lo))
+	binary.LittleEndian.PutUint64(in[8:], uint64(hi))
+	block.Encrypt(out[:], in[:])
+	var k Key
+	copy(k[:], out[:])
+	s.cache[ck] = k
+	return k, nil
+}

@@ -1,0 +1,113 @@
+package seckey
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"iotmpc/internal/field"
+)
+
+// Share-packet wire format (sharing phase of SSS over MiniCast):
+//
+//	byte 0..7   ciphertext of the 8-byte little-endian share value
+//	byte 8..11  truncated AES-CMAC tag (4 bytes, 802.15.4 MIC-32 style)
+//
+// The nonce for CTR mode is derived from (round, sender, receiver, slot) so
+// every sub-slot of every round keys a unique keystream without shipping a
+// nonce on air — both endpoints know the TDMA schedule.
+
+// TagSize is the truncated MIC length in bytes (MIC-32, as in 802.15.4
+// security level 5 which pairs encryption with a 4-byte MIC).
+const TagSize = 4
+
+// SealedShareSize is the on-air size of an encrypted share value.
+const SealedShareSize = 8 + TagSize
+
+// Errors returned by packet sealing.
+var (
+	// ErrAuthFailed is returned when the MIC does not verify.
+	ErrAuthFailed = errors.New("seckey: packet authentication failed")
+	// ErrShortPacket is returned for truncated ciphertext.
+	ErrShortPacket = errors.New("seckey: packet too short")
+)
+
+// PacketContext binds a sealed share to its position in the protocol so a
+// ciphertext replayed in another slot or round fails authentication.
+type PacketContext struct {
+	Round    uint32
+	Sender   uint16
+	Receiver uint16
+	Slot     uint32
+}
+
+func (c PacketContext) nonce() [aes.BlockSize]byte {
+	var n [aes.BlockSize]byte
+	binary.LittleEndian.PutUint32(n[0:], c.Round)
+	binary.LittleEndian.PutUint16(n[4:], c.Sender)
+	binary.LittleEndian.PutUint16(n[6:], c.Receiver)
+	binary.LittleEndian.PutUint32(n[8:], c.Slot)
+	return n
+}
+
+// SealShare encrypts and authenticates one share value under the pairwise
+// key, bound to ctx.
+func SealShare(key Key, ctx PacketContext, value field.Element) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("seal cipher: %w", err)
+	}
+	var plain [8]byte
+	binary.LittleEndian.PutUint64(plain[:], value.Uint64())
+
+	nonce := ctx.nonce()
+	out := make([]byte, SealedShareSize)
+	ctr := cipher.NewCTR(block, nonce[:])
+	ctr.XORKeyStream(out[:8], plain[:])
+
+	mac, err := cmacOverPacket(key, ctx, out[:8])
+	if err != nil {
+		return nil, err
+	}
+	copy(out[8:], mac[:TagSize])
+	return out, nil
+}
+
+// OpenShare verifies and decrypts a sealed share.
+func OpenShare(key Key, ctx PacketContext, sealed []byte) (field.Element, error) {
+	if len(sealed) < SealedShareSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(sealed))
+	}
+	mac, err := cmacOverPacket(key, ctx, sealed[:8])
+	if err != nil {
+		return 0, err
+	}
+	if !tagEqual(mac[:TagSize], sealed[8:SealedShareSize]) {
+		return 0, ErrAuthFailed
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return 0, fmt.Errorf("open cipher: %w", err)
+	}
+	nonce := ctx.nonce()
+	var plain [8]byte
+	ctr := cipher.NewCTR(block, nonce[:])
+	ctr.XORKeyStream(plain[:], sealed[:8])
+	return field.New(binary.LittleEndian.Uint64(plain[:])), nil
+}
+
+// cmacOverPacket authenticates ciphertext together with the packet context
+// (the associated data), so replays across slots/rounds are rejected.
+func cmacOverPacket(key Key, ctx PacketContext, ct []byte) ([aes.BlockSize]byte, error) {
+	nonce := ctx.nonce()
+	msg := make([]byte, 0, aes.BlockSize+len(ct))
+	msg = append(msg, nonce[:]...)
+	msg = append(msg, ct...)
+	mac, err := cmac(key, msg)
+	if err != nil {
+		return mac, fmt.Errorf("cmac: %w", err)
+	}
+	return mac, nil
+}

@@ -1,0 +1,47 @@
+package shamir
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/field"
+)
+
+func BenchmarkSplit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	points := PublicPoints(26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(field.New(uint64(i)), 8, points, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	shares, err := Split(field.New(424242), 8, PublicPoints(26), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(shares[:9], 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateShares(b *testing.B) {
+	x := field.New(5)
+	shares := make([]Share, 45)
+	for i := range shares {
+		shares[i] = Share{X: x, Value: field.New(uint64(i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AggregateShares(shares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package shamir
+
+import (
+	"fmt"
+	"io"
+
+	"iotmpc/internal/field"
+)
+
+// Party models one MPC participant through a full aggregation round, holding
+// the pieces of per-node state the protocol needs between phases:
+//
+//	sharing phase:        OutgoingShares()  — one share per destination node
+//	local aggregation:    AbsorbShare()     — sum shares for my public point
+//	reconstruction phase: SumShare()        — my public-point sum, re-shared
+//	finalization:         (package func) ReconstructAggregate
+//
+// Party is deliberately free of any networking; internal/core wires parties
+// to the CT transport.
+type Party struct {
+	index    int
+	secret   field.Element
+	degree   int
+	points   []field.Element
+	received []Share // shares destined for my public point
+}
+
+// NewParty creates a participant. index is the node's 0-based position among
+// the n parties, which fixes its designated public point; points must be the
+// same ordered list at every party.
+func NewParty(index int, secret field.Element, degree int, points []field.Element) (*Party, error) {
+	if index < 0 || index >= len(points) {
+		return nil, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadParams, index, len(points))
+	}
+	if degree < 0 || degree+1 > len(points) {
+		return nil, fmt.Errorf("%w: degree %d with %d points", ErrBadParams, degree, len(points))
+	}
+	pts := make([]field.Element, len(points))
+	copy(pts, points)
+	return &Party{
+		index:  index,
+		secret: secret,
+		degree: degree,
+		points: pts,
+	}, nil
+}
+
+// Index returns the party's 0-based node index.
+func (p *Party) Index() int { return p.index }
+
+// Point returns the party's designated public point.
+func (p *Party) Point() field.Element { return p.points[p.index] }
+
+// OutgoingShares samples a fresh polynomial for the party's secret and
+// returns the share destined for each node index. Call once per round; each
+// call re-randomizes the polynomial (shares from different calls must not be
+// mixed).
+func (p *Party) OutgoingShares(rng io.Reader) ([]Share, error) {
+	shares, err := Split(p.secret, p.degree, p.points, rng)
+	if err != nil {
+		return nil, fmt.Errorf("party %d split: %w", p.index, err)
+	}
+	return shares, nil
+}
+
+// AbsorbShare records a share received during the sharing phase. The share
+// must be bound to this party's public point — it is a protocol error (and a
+// privacy bug at the sender) otherwise.
+func (p *Party) AbsorbShare(s Share) error {
+	if s.X != p.Point() {
+		return fmt.Errorf("%w: got %v, my point is %v", ErrMixedPoints, s.X, p.Point())
+	}
+	p.received = append(p.received, s)
+	return nil
+}
+
+// ReceivedCount reports how many shares have been absorbed this round.
+func (p *Party) ReceivedCount() int { return len(p.received) }
+
+// SumShare returns the party's local aggregate: the evaluation of the sum
+// polynomial at its public point, built from everything absorbed so far.
+func (p *Party) SumShare() (Share, error) {
+	if len(p.received) == 0 {
+		return Share{}, fmt.Errorf("%w: party %d received no shares", ErrBadParams, p.index)
+	}
+	return AggregateShares(p.received)
+}
+
+// Reset clears per-round state so the party can run another round.
+func (p *Party) Reset() { p.received = p.received[:0] }
+
+// ReconstructAggregate recovers ΣSᵢ from at least degree+1 public-point sums
+// collected in the reconstruction phase. The sums may come from any subset of
+// nodes of size >= degree+1 — this is the fault-tolerance property S4 relies
+// on when it runs reconstruction at low NTX.
+func ReconstructAggregate(sums []Share, degree int) (field.Element, error) {
+	return Reconstruct(sums, degree)
+}

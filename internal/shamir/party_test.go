@@ -1,0 +1,181 @@
+package shamir
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/field"
+)
+
+func TestPartyFullRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, degree = 6, 2
+	points := PublicPoints(n)
+
+	parties := make([]*Party, n)
+	var want field.Element
+	for i := range parties {
+		secret := field.New(uint64(100 + i))
+		want = want.Add(secret)
+		p, err := NewParty(i, secret, degree, points)
+		if err != nil {
+			t.Fatalf("NewParty(%d): %v", i, err)
+		}
+		parties[i] = p
+	}
+
+	// Sharing phase: full mesh delivery.
+	for _, sender := range parties {
+		out, err := sender.OutgoingShares(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, share := range out {
+			if err := parties[j].AbsorbShare(share); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Reconstruction phase: collect sums, use a (degree+1)-subset.
+	sums := make([]Share, 0, n)
+	for _, p := range parties {
+		if p.ReceivedCount() != n {
+			t.Fatalf("party %d received %d shares, want %d", p.Index(), p.ReceivedCount(), n)
+		}
+		s, err := p.SumShare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, s)
+	}
+	got, err := ReconstructAggregate(sums[1:degree+2], degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("aggregate = %v, want %v", got, want)
+	}
+}
+
+func TestPartyRejectsForeignShare(t *testing.T) {
+	points := PublicPoints(4)
+	p, err := NewParty(1, field.One, 1, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := Share{X: PublicPoint(2), Value: field.One}
+	if err := p.AbsorbShare(wrong); !errors.Is(err, ErrMixedPoints) {
+		t.Errorf("error = %v, want ErrMixedPoints", err)
+	}
+}
+
+func TestPartyConstructorErrors(t *testing.T) {
+	points := PublicPoints(4)
+	tests := []struct {
+		name   string
+		index  int
+		degree int
+	}{
+		{"negative index", -1, 1},
+		{"index out of range", 4, 1},
+		{"degree too high", 0, 4},
+		{"negative degree", 0, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewParty(tt.index, field.One, tt.degree, points); !errors.Is(err, ErrBadParams) {
+				t.Errorf("error = %v, want ErrBadParams", err)
+			}
+		})
+	}
+}
+
+func TestPartySumShareWithoutReceiving(t *testing.T) {
+	p, err := NewParty(0, field.One, 1, PublicPoints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SumShare(); !errors.Is(err, ErrBadParams) {
+		t.Errorf("error = %v, want ErrBadParams", err)
+	}
+}
+
+func TestPartyReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points := PublicPoints(3)
+	p, err := NewParty(0, field.New(9), 1, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.OutgoingShares(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AbsorbShare(out[0]); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReceivedCount() != 1 {
+		t.Fatalf("received = %d, want 1", p.ReceivedCount())
+	}
+	p.Reset()
+	if p.ReceivedCount() != 0 {
+		t.Errorf("after Reset received = %d, want 0", p.ReceivedCount())
+	}
+}
+
+func TestPartyPartialSourcesAggregate(t *testing.T) {
+	// Only a subset of nodes contribute secrets (the paper sweeps "number of
+	// source nodes"); non-sources still act as share holders. The aggregate
+	// must equal the sum over sources only.
+	rng := rand.New(rand.NewSource(3))
+	const n, degree = 9, 3
+	points := PublicPoints(n)
+	sources := []int{0, 2, 5} // 3 of 9 nodes contribute
+
+	parties := make([]*Party, n)
+	var want field.Element
+	for i := range parties {
+		secret := field.Zero
+		for _, s := range sources {
+			if s == i {
+				secret = field.New(uint64(1000 + i))
+				want = want.Add(secret)
+			}
+		}
+		p, err := NewParty(i, secret, degree, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parties[i] = p
+	}
+
+	for _, idx := range sources {
+		out, err := parties[idx].OutgoingShares(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, share := range out {
+			if err := parties[j].AbsorbShare(share); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	sums := make([]Share, 0, n)
+	for _, p := range parties {
+		s, err := p.SumShare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, s)
+	}
+	got, err := ReconstructAggregate(sums[:degree+1], degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("aggregate = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,131 @@
+package shamir
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/field"
+)
+
+// TestPerfectPrivacyByConstruction proves (constructively, per trial) the
+// information-theoretic privacy property the protocol's collusion threshold
+// rests on: for ANY coalition of k nodes holding k shares of a degree-k
+// polynomial with secret s, and for ANY alternative secret s', there exists
+// a valid degree-k polynomial that produces exactly the same coalition view
+// but hides s'. Hence the coalition's view is consistent with every possible
+// secret and reveals nothing.
+func TestPerfectPrivacyByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const degree, n = 5, 12
+	points := PublicPoints(n)
+
+	for trial := 0; trial < 30; trial++ {
+		secret := field.New(rng.Uint64() >> 3)
+		shares, err := Split(secret, degree, points, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Coalition: k = degree random distinct nodes.
+		coalition := rng.Perm(n)[:degree]
+		view := make([]field.Point, 0, degree)
+		for _, idx := range coalition {
+			view = append(view, field.Point{X: shares[idx].X, Y: shares[idx].Value})
+		}
+
+		// Adversary hypothesis: the secret is some other s'.
+		altSecret := field.New(rng.Uint64() >> 3)
+		if altSecret == secret {
+			altSecret = altSecret.Add(field.One)
+		}
+		// Construct the explaining polynomial: interpolate the coalition
+		// view plus the forged point (0, s').
+		constraints := append(append([]field.Point{}, view...),
+			field.Point{X: field.Zero, Y: altSecret})
+		explain, err := field.Interpolate(constraints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if explain.Degree() != degree {
+			t.Fatalf("trial %d: explaining polynomial has degree %d, want %d",
+				trial, explain.Degree(), degree)
+		}
+		// It must reproduce the coalition's view exactly...
+		for _, p := range view {
+			if explain.Eval(p.X) != p.Y {
+				t.Fatalf("trial %d: explaining polynomial deviates at %v", trial, p.X)
+			}
+		}
+		// ...while hiding the alternative secret.
+		if explain.Constant() != altSecret {
+			t.Fatalf("trial %d: explaining polynomial has secret %v, want %v",
+				trial, explain.Constant(), altSecret)
+		}
+	}
+}
+
+// TestCoalitionOfKPlusOneBreaks is the sharpness counterpart: k+1 shares DO
+// determine the secret, so the threshold is exactly k.
+func TestCoalitionOfKPlusOneBreaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const degree, n = 4, 9
+	secret := field.New(123456)
+	shares, err := Split(secret, degree, PublicPoints(n), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coalition := shares[:degree+1]
+	got, err := Reconstruct(coalition, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Errorf("k+1 coalition recovered %v, want %v", got, secret)
+	}
+}
+
+// TestAggregatePrivacy checks that the SUM leaks only the sum: two worlds
+// with different individual secrets but identical totals produce identical
+// reconstruction outputs.
+func TestAggregatePrivacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const degree, n = 2, 6
+	points := PublicPoints(n)
+
+	worldSums := func(secrets []field.Element) field.Element {
+		t.Helper()
+		sums := make([]Share, n)
+		cols := make([][]Share, n)
+		for i, s := range secrets {
+			shares, err := Split(s, degree, points, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range shares {
+				cols[j] = append(cols[j], shares[j])
+			}
+			_ = i
+		}
+		for j := range cols {
+			agg, err := AggregateShares(cols[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums[j] = agg
+		}
+		out, err := Reconstruct(sums[:degree+1], degree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	worldA := []field.Element{field.New(10), field.New(20), field.New(30),
+		field.New(40), field.New(50), field.New(60)}
+	worldB := []field.Element{field.New(60), field.New(50), field.New(40),
+		field.New(30), field.New(20), field.New(10)}
+	a := worldSums(worldA)
+	b := worldSums(worldB)
+	if a != b || a != field.New(210) {
+		t.Errorf("worlds with equal totals diverge: %v vs %v (want 210)", a, b)
+	}
+}

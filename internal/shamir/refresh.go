@@ -1,0 +1,92 @@
+package shamir
+
+import (
+	"fmt"
+	"io"
+
+	"iotmpc/internal/field"
+)
+
+// Proactive share refresh (Herzberg et al., CRYPTO 1995), the standard
+// hardening for long-lived SSS deployments like periodic IoT metering: the
+// collusion threshold k holds per *epoch* rather than per deployment. Every
+// epoch, each node deals a fresh degree-k polynomial with constant term ZERO;
+// holders add the refresh shares they receive to their standing share. The
+// hidden secret is unchanged (zero was added), but the share set is
+// re-randomized, so shares an adversary collected in different epochs cannot
+// be combined.
+//
+// The dataflow is exactly the protocol's sharing phase with zero secrets, so
+// it rides the same MiniCast chain; this file provides the algebra.
+
+// ZeroShares deals one epoch's refresh contribution: shares of the zero
+// secret under a fresh random degree-k polynomial.
+func ZeroShares(degree int, points []field.Element, rng io.Reader) ([]Share, error) {
+	shares, err := Split(field.Zero, degree, points, rng)
+	if err != nil {
+		return nil, fmt.Errorf("refresh deal: %w", err)
+	}
+	return shares, nil
+}
+
+// ApplyRefresh folds the refresh shares received this epoch into a standing
+// share. Every refresh share must be bound to the standing share's public
+// point.
+func ApplyRefresh(standing Share, refresh []Share) (Share, error) {
+	out := standing
+	for _, r := range refresh {
+		if r.X != standing.X {
+			return Share{}, fmt.Errorf("%w: refresh at %v for share at %v",
+				ErrMixedPoints, r.X, standing.X)
+		}
+		out.Value = out.Value.Add(r.Value)
+	}
+	return out, nil
+}
+
+// RefreshEpoch runs one full refresh among the holders of a share set:
+// every holder deals zero-shares and every holder folds in what it received.
+// shares[i] must all be bound to distinct public points (one per holder);
+// the returned slice is position-aligned with the input. This is the
+// loopback (transport-free) form used by tests and by deployments that
+// refresh over a trusted local bus; over the air, internal/core moves the
+// same zero-shares through the MiniCast sharing chain.
+func RefreshEpoch(shares []Share, degree int, rng io.Reader) ([]Share, error) {
+	n := len(shares)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no shares to refresh", ErrBadParams)
+	}
+	if degree+1 > n {
+		return nil, fmt.Errorf("%w: degree %d with %d holders", ErrBadParams, degree, n)
+	}
+	points := make([]field.Element, n)
+	seen := make(map[field.Element]struct{}, n)
+	for i, s := range shares {
+		if _, dup := seen[s.X]; dup {
+			return nil, fmt.Errorf("%w: duplicate point %v", ErrBadParams, s.X)
+		}
+		seen[s.X] = struct{}{}
+		points[i] = s.X
+	}
+
+	// incoming[i] collects the refresh shares destined for holder i.
+	incoming := make([][]Share, n)
+	for dealer := 0; dealer < n; dealer++ {
+		deal, err := ZeroShares(degree, points, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i := range deal {
+			incoming[i] = append(incoming[i], deal[i])
+		}
+	}
+	out := make([]Share, n)
+	for i := range shares {
+		refreshed, err := ApplyRefresh(shares[i], incoming[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = refreshed
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package shamir
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/field"
+)
+
+func TestRefreshPreservesSecret(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const degree, n = 3, 8
+	secret := field.New(777777)
+	shares, err := Split(secret, degree, PublicPoints(n), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := RefreshEpoch(shares, degree, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(refreshed[:degree+1], degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Errorf("refreshed reconstruction = %v, want %v", got, secret)
+	}
+	// Any subset works, as before.
+	got2, err := Reconstruct(refreshed[n-degree-1:], degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != secret {
+		t.Errorf("tail subset = %v, want %v", got2, secret)
+	}
+}
+
+func TestRefreshChangesShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const degree, n = 2, 6
+	shares, err := Split(field.New(5), degree, PublicPoints(n), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := RefreshEpoch(shares, degree, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range shares {
+		if refreshed[i].X != shares[i].X {
+			t.Fatalf("refresh moved share %d to a different point", i)
+		}
+		if refreshed[i].Value != shares[i].Value {
+			changed++
+		}
+	}
+	if changed < n-1 {
+		t.Errorf("only %d/%d share values changed", changed, n)
+	}
+}
+
+func TestCrossEpochSharesDoNotCombine(t *testing.T) {
+	// The point of proactive refresh: k shares from epoch 1 plus one share
+	// from epoch 2 must NOT reconstruct the secret (they lie on different
+	// polynomials).
+	rng := rand.New(rand.NewSource(3))
+	const degree, n = 3, 8
+	secret := field.New(13371337)
+	epoch1, err := Split(secret, degree, PublicPoints(n), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch2, err := RefreshEpoch(epoch1, degree, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := make([]Share, degree+1)
+	copy(mixed, epoch1[:degree])
+	mixed[degree] = epoch2[degree] // one share from the next epoch
+	got, err := Reconstruct(mixed, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == secret {
+		t.Error("cross-epoch share combination recovered the secret")
+	}
+}
+
+func TestApplyRefreshRejectsForeignPoint(t *testing.T) {
+	standing := Share{X: field.New(1), Value: field.New(10)}
+	foreign := []Share{{X: field.New(2), Value: field.New(3)}}
+	if _, err := ApplyRefresh(standing, foreign); !errors.Is(err, ErrMixedPoints) {
+		t.Errorf("error = %v, want ErrMixedPoints", err)
+	}
+}
+
+func TestApplyRefreshSums(t *testing.T) {
+	standing := Share{X: field.New(1), Value: field.New(10)}
+	refresh := []Share{
+		{X: field.New(1), Value: field.New(5)},
+		{X: field.New(1), Value: field.New(7)},
+	}
+	got, err := ApplyRefresh(standing, refresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != field.New(22) {
+		t.Errorf("refreshed value = %v, want 22", got.Value)
+	}
+}
+
+func TestRefreshEpochErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := RefreshEpoch(nil, 1, rng); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty: %v, want ErrBadParams", err)
+	}
+	shares, err := Split(field.One, 1, PublicPoints(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RefreshEpoch(shares, 5, rng); !errors.Is(err, ErrBadParams) {
+		t.Errorf("degree too high: %v, want ErrBadParams", err)
+	}
+	dup := []Share{{X: field.One}, {X: field.One}}
+	if _, err := RefreshEpoch(dup, 1, rng); !errors.Is(err, ErrBadParams) {
+		t.Errorf("duplicate points: %v, want ErrBadParams", err)
+	}
+}
+
+func TestRepeatedRefreshStaysCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const degree, n = 4, 10
+	secret := field.New(31415)
+	shares, err := Split(secret, degree, PublicPoints(n), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 10; epoch++ {
+		shares, err = RefreshEpoch(shares, degree, rng)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+	got, err := Reconstruct(shares[2:2+degree+1], degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Errorf("after 10 epochs: %v, want %v", got, secret)
+	}
+}

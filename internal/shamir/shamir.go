@@ -1,0 +1,125 @@
+// Package shamir implements Shamir Secret Sharing (Shamir, "How to share a
+// secret", CACM 1979) over GF(2^61-1), in the additive-aggregation form used
+// for privacy-preserving data aggregation (PPDA):
+//
+//   - every node nᵢ holds a secret Sᵢ and samples a random degree-k
+//     polynomial Pᵢ with Pᵢ(0) = Sᵢ;
+//   - node nᵢ evaluates Pᵢ at the public points x₁..x_n and sends share
+//     Pᵢ(xⱼ) to the node designated for public point xⱼ (sharing phase);
+//   - the designated node sums the shares it received, obtaining the
+//     evaluation of the sum polynomial P_Σ = ΣPᵢ at its point
+//     (local aggregation);
+//   - the sums are re-shared and any k+1 of them reconstruct
+//     P_Σ(0) = ΣSᵢ via Lagrange interpolation (reconstruction phase).
+//
+// The package is transport-agnostic: it produces and consumes shares; moving
+// them between nodes is the job of the CT protocols in internal/minicast and
+// the orchestration in internal/core.
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"iotmpc/internal/field"
+)
+
+// Errors returned by the package.
+var (
+	// ErrThreshold is returned when degree/share-count parameters are
+	// inconsistent (e.g. fewer shares than degree+1).
+	ErrThreshold = errors.New("shamir: insufficient shares for threshold")
+	// ErrBadParams is returned for invalid sharing parameters.
+	ErrBadParams = errors.New("shamir: invalid parameters")
+	// ErrMixedPoints is returned when aggregating shares bound to different
+	// public points.
+	ErrMixedPoints = errors.New("shamir: shares bound to different public points")
+)
+
+// Share is one evaluation of a secret-sharing polynomial: Value = P(X).
+// X is the public point, which in this system is derived from the designated
+// node's ID and is not secret; Value is confidential.
+type Share struct {
+	X     field.Element
+	Value field.Element
+}
+
+// PublicPoint maps a node index (0-based) to its designated public point.
+// Point zero is never used — P(0) is the secret — so node i gets x = i+1.
+func PublicPoint(nodeIndex int) field.Element {
+	return field.New(uint64(nodeIndex + 1))
+}
+
+// PublicPoints returns the public points for nodes 0..n-1.
+func PublicPoints(n int) []field.Element {
+	pts := make([]field.Element, n)
+	for i := range pts {
+		pts[i] = PublicPoint(i)
+	}
+	return pts
+}
+
+// Split shares a secret into one share per public point using a fresh random
+// polynomial of the given degree. Any degree+1 shares reconstruct the secret;
+// any degree shares reveal nothing (information-theoretic privacy).
+func Split(secret field.Element, degree int, points []field.Element, rng io.Reader) ([]Share, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("%w: negative degree %d", ErrBadParams, degree)
+	}
+	if len(points) < degree+1 {
+		return nil, fmt.Errorf("%w: %d points for degree %d (need >= %d)",
+			ErrBadParams, len(points), degree, degree+1)
+	}
+	for _, x := range points {
+		if x.IsZero() {
+			return nil, fmt.Errorf("%w: public point 0 would leak the secret", ErrBadParams)
+		}
+	}
+	poly, err := field.NewRandomPoly(secret, degree, rng)
+	if err != nil {
+		return nil, fmt.Errorf("sample polynomial: %w", err)
+	}
+	shares := make([]Share, len(points))
+	for i, x := range points {
+		shares[i] = Share{X: x, Value: poly.Eval(x)}
+	}
+	return shares, nil
+}
+
+// Reconstruct recovers the secret from at least threshold = degree+1 shares.
+// Extra shares are allowed (they are simply consistent redundancy as long as
+// they lie on the same polynomial; only the first threshold shares are used).
+func Reconstruct(shares []Share, degree int) (field.Element, error) {
+	need := degree + 1
+	if len(shares) < need {
+		return 0, fmt.Errorf("%w: have %d, need %d", ErrThreshold, len(shares), need)
+	}
+	points := make([]field.Point, need)
+	for i := 0; i < need; i++ {
+		points[i] = field.Point{X: shares[i].X, Y: shares[i].Value}
+	}
+	secret, err := field.InterpolateAtZero(points)
+	if err != nil {
+		return 0, fmt.Errorf("interpolate: %w", err)
+	}
+	return secret, nil
+}
+
+// AggregateShares sums shares that are bound to the same public point. This
+// is the local aggregation a designated node performs in the sharing phase:
+// ΣᵢPᵢ(x) is a share of the sum polynomial at x.
+func AggregateShares(shares []Share) (Share, error) {
+	if len(shares) == 0 {
+		return Share{}, fmt.Errorf("%w: empty aggregation", ErrBadParams)
+	}
+	x := shares[0].X
+	var sum field.Element
+	for _, s := range shares {
+		if s.X != x {
+			return Share{}, fmt.Errorf("%w: %v vs %v", ErrMixedPoints, s.X, x)
+		}
+		sum = sum.Add(s.Value)
+	}
+	return Share{X: x, Value: sum}, nil
+}

@@ -1,0 +1,144 @@
+// Package sim provides the discrete-event simulation substrate: a virtual
+// clock with an event heap, deterministic RNG streams, and per-node radio
+// state/on-time accounting. The CT protocols are slot-synchronous, so they
+// mostly advance the clock in fixed steps (AdvanceTo) and use scheduled
+// events for phase orchestration; the ledger converts radio state changes
+// into the radio-on-time metric the paper reports.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrPastEvent is returned when scheduling before the current time.
+	ErrPastEvent = errors.New("sim: event scheduled in the past")
+	// ErrClockBackward is returned when the clock would move backward.
+	ErrClockBackward = errors.New("sim: clock cannot move backward")
+)
+
+// Engine is a single-threaded discrete-event executor over a virtual clock.
+// Virtual time is a time.Duration offset from the simulation epoch.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	nextID uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO among same-time events, keeps runs deterministic
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return // heap.Push is only ever called with *event internally
+	}
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// NewEngine creates an engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule enqueues fn at absolute virtual time at.
+func (e *Engine) Schedule(at time.Duration, fn func()) error {
+	if at < e.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	ev := &event{at: at, seq: e.nextID, fn: fn}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return nil
+}
+
+// ScheduleAfter enqueues fn after delay d from now.
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("%w: delay %v", ErrPastEvent, d)
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// AdvanceTo moves the clock forward without executing events; used by
+// slot-synchronous protocol code that processes a whole TDMA slot inline.
+// It is an error to skip over pending events.
+func (e *Engine) AdvanceTo(t time.Duration) error {
+	if t < e.now {
+		return fmt.Errorf("%w: to=%v now=%v", ErrClockBackward, t, e.now)
+	}
+	if len(e.queue) > 0 && e.queue[0].at < t {
+		return fmt.Errorf("sim: AdvanceTo(%v) would skip event at %v", t, e.queue[0].at)
+	}
+	e.now = t
+	return nil
+}
+
+// Advance moves the clock forward by d; see AdvanceTo.
+func (e *Engine) Advance(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("%w: advance %v", ErrClockBackward, d)
+	}
+	return e.AdvanceTo(e.now + d)
+}
+
+// Step executes the earliest pending event, advancing the clock to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&e.queue).(*event)
+	if !ok {
+		return false
+	}
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// the deadline.
+func (e *Engine) RunUntil(deadline time.Duration) error {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	return e.AdvanceTo(deadline)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

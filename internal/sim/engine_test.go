@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	if err := e.Schedule(30*time.Millisecond, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(10*time.Millisecond, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(20*time.Millisecond, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.Schedule(time.Millisecond, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	err := e.Schedule(time.Millisecond, func() {
+		fired = append(fired, e.Now())
+		if err := e.ScheduleAfter(2*time.Millisecond, func() {
+			fired = append(fired, e.Now())
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 3*time.Millisecond {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	if err := e.AdvanceTo(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(time.Millisecond, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("error = %v, want ErrPastEvent", err)
+	}
+	if err := e.ScheduleAfter(-time.Millisecond, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("negative delay: %v, want ErrPastEvent", err)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	if err := e.AdvanceTo(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if err := e.AdvanceTo(time.Millisecond); !errors.Is(err, ErrClockBackward) {
+		t.Errorf("backward: %v, want ErrClockBackward", err)
+	}
+	if err := e.Advance(-time.Millisecond); !errors.Is(err, ErrClockBackward) {
+		t.Errorf("negative advance: %v, want ErrClockBackward", err)
+	}
+}
+
+func TestAdvanceToCannotSkipEvents(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(time.Millisecond, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(2 * time.Millisecond); err == nil {
+		t.Error("AdvanceTo skipped a pending event without error")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	for _, at := range []time.Duration{1, 2, 3, 4} {
+		if err := e.Schedule(at*time.Millisecond, func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunUntil(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Errorf("Now = %v, want 2ms", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}

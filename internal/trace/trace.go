@@ -1,0 +1,113 @@
+// Package trace provides structured per-round event recording for protocol
+// debugging and post-hoc analysis: what happened when, at which node. The
+// core round runner emits events at phase and per-node granularity; the
+// recorder renders them as text or JSON for external tooling.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the protocol round runner.
+const (
+	// KindShareGen — a source finished generating/sealing its shares.
+	KindShareGen Kind = "share-gen"
+	// KindPhase — a protocol phase completed (detail names it).
+	KindPhase Kind = "phase"
+	// KindSumComplete — a destination aggregated shares from every source.
+	KindSumComplete Kind = "sum-complete"
+	// KindSumIncomplete — a destination missed at least one share.
+	KindSumIncomplete Kind = "sum-incomplete"
+	// KindAggregateOK — a node reconstructed the correct aggregate.
+	KindAggregateOK Kind = "aggregate-ok"
+	// KindAggregateFail — a node could not reconstruct.
+	KindAggregateFail Kind = "aggregate-fail"
+)
+
+// Event is one timestamped protocol occurrence.
+type Event struct {
+	// At is the virtual time offset from round start.
+	At time.Duration `json:"atNs"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Node is the node concerned (-1 for network-wide events).
+	Node int `json:"node"`
+	// Detail carries free-form context.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder is a valid no-op sink, so instrumentation can be left in place
+// unconditionally.
+type Recorder struct {
+	events []Event
+}
+
+// Record appends an event. Safe on a nil receiver (no-op).
+func (r *Recorder) Record(at time.Duration, kind Kind, node int, detail string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: kind, Node: node, Detail: detail})
+}
+
+// Events returns a copy of the recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// CountByKind tallies events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	counts := make(map[Kind]int)
+	if r == nil {
+		return counts
+	}
+	for _, e := range r.events {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// JSON renders the trace as a JSON array.
+func (r *Recorder) JSON() ([]byte, error) {
+	if r == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(r.events)
+}
+
+// Summary renders a compact text digest: per-kind counts in kind order.
+func (r *Recorder) Summary() string {
+	counts := r.CountByKind()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events", r.Len())
+	for _, k := range kinds {
+		fmt.Fprintf(&b, ", %s=%d", k, counts[Kind(k)])
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Record(time.Second, KindPhase, -1, "x") // must not panic
+	if r.Len() != 0 {
+		t.Error("nil recorder has events")
+	}
+	if got := r.Events(); got != nil {
+		t.Error("nil recorder returned events")
+	}
+	b, err := r.JSON()
+	if err != nil || string(b) != "[]" {
+		t.Errorf("nil JSON = %s, %v", b, err)
+	}
+	if len(r.CountByKind()) != 0 {
+		t.Error("nil recorder counted kinds")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	var r Recorder
+	r.Record(time.Millisecond, KindShareGen, 3, "26 destinations")
+	r.Record(2*time.Millisecond, KindPhase, -1, "sharing")
+	r.Record(3*time.Millisecond, KindAggregateOK, 5, "")
+	r.Record(3*time.Millisecond, KindAggregateOK, 6, "")
+
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	counts := r.CountByKind()
+	if counts[KindAggregateOK] != 2 || counts[KindPhase] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	events := r.Events()
+	if events[0].Node != 3 || events[0].Kind != KindShareGen {
+		t.Errorf("first event = %+v", events[0])
+	}
+	// Returned slice is a copy.
+	events[0].Node = 99
+	if r.Events()[0].Node == 99 {
+		t.Error("Events aliases internal storage")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	var r Recorder
+	r.Record(time.Second, KindSumComplete, 7, "")
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0].Node != 7 || decoded[0].Kind != KindSumComplete {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var r Recorder
+	r.Record(0, KindAggregateOK, 1, "")
+	r.Record(0, KindAggregateFail, 2, "")
+	s := r.Summary()
+	if !strings.Contains(s, "2 events") ||
+		!strings.Contains(s, "aggregate-ok=1") ||
+		!strings.Contains(s, "aggregate-fail=1") {
+		t.Errorf("Summary = %q", s)
+	}
+}
