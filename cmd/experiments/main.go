@@ -1,6 +1,7 @@
 // Command experiments regenerates every figure panel of the paper's
-// evaluation (Fig. 1 a–d), the in-text headline gain claims, and the
-// MiniCast coverage-vs-NTX characterization.
+// evaluation (Fig. 1 a–d), the in-text headline gain claims, the MiniCast
+// coverage-vs-NTX characterization, and free-form scenario-matrix sweeps
+// over network size × threshold × loss rate × protocol.
 //
 // Examples:
 //
@@ -8,12 +9,16 @@
 //	experiments -panel fig1a -iters 2000        # paper-scale repetitions
 //	experiments -panel coverage
 //	experiments -panel fig1c -csv > dcube.csv
+//	experiments -panel matrix -nodes 15,25,40 -loss 0.0,0.2,0.4 -workers 8
+//	experiments -panel matrix -nodes 20 -degrees 4,6,9 -csv > matrix.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"iotmpc/internal/experiment"
 	"iotmpc/internal/topology"
@@ -30,13 +35,33 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		panel = fs.String("panel", "all",
-			"panel: fig1a, fig1b, fig1c, fig1d, gains, coverage, baseline, scalability, all")
-		iters = fs.Int("iters", 50, "Monte-Carlo iterations per point (paper: 2000)")
-		seed  = fs.Int64("seed", 1, "randomness seed")
-		csv   = fs.Bool("csv", false, "emit CSV instead of tables")
+			"panel: fig1a, fig1b, fig1c, fig1d, gains, coverage, baseline, scalability, matrix, all")
+		iters   = fs.Int("iters", 50, "Monte-Carlo iterations per point (paper: 2000)")
+		seed    = fs.Int64("seed", 1, "randomness seed")
+		csv     = fs.Bool("csv", false, "emit CSV instead of tables")
+		workers = fs.Int("workers", 0, "matrix worker goroutines (0: GOMAXPROCS)")
+		nodes   = fs.String("nodes", "15,25,40", "matrix axis: comma-separated network sizes")
+		degrees = fs.String("degrees", "0", "matrix axis: polynomial degrees (0: n/3)")
+		loss    = fs.String("loss", "0.0,0.2,0.4", "matrix axis: interference burst probabilities")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *panel == "matrix" {
+		return runMatrix(*nodes, *degrees, *loss, *iters, *seed, *workers, *csv)
+	}
+	// The matrix-only flags do nothing for the fixed paper panels; reject
+	// them rather than let a user believe they took effect.
+	var misused []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers", "nodes", "degrees", "loss":
+			misused = append(misused, "-"+f.Name)
+		}
+	})
+	if len(misused) > 0 {
+		return fmt.Errorf("%s only apply to -panel matrix", strings.Join(misused, ", "))
 	}
 
 	needFlockLab := *panel == "fig1a" || *panel == "fig1b" || *panel == "gains" || *panel == "all"
@@ -122,6 +147,66 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runMatrix parses the axis flags, fans the scenario matrix across the
+// worker pool, and renders the result.
+func runMatrix(nodes, degrees, loss string, iters int, seed int64, workers int, csv bool) error {
+	nodeCounts, err := parseInts(nodes)
+	if err != nil {
+		return fmt.Errorf("-nodes: %w", err)
+	}
+	degreeList, err := parseInts(degrees)
+	if err != nil {
+		return fmt.Errorf("-degrees: %w", err)
+	}
+	lossRates, err := parseFloats(loss)
+	if err != nil {
+		return fmt.Errorf("-loss: %w", err)
+	}
+	m := experiment.Matrix{
+		NodeCounts: nodeCounts,
+		Degrees:    degreeList,
+		LossRates:  lossRates,
+		Iterations: iters,
+		Seed:       seed,
+	}
+	results, err := experiment.RunMatrix(m, workers)
+	if err != nil {
+		return fmt.Errorf("matrix sweep: %w", err)
+	}
+	if csv {
+		fmt.Print(experiment.MatrixCSV(results))
+		return nil
+	}
+	fmt.Println(experiment.MatrixTable(results))
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func printGains(flockRes, dcubeRes *experiment.SweepResult) error {

@@ -6,6 +6,7 @@
 //	mpcsim -testbed flocklab -protocol s4 -iters 50
 //	mpcsim -testbed dcube -protocol s3 -sources 12 -seed 7
 //	mpcsim -testbed grid -protocol s4 -degree 4 -ntx 4
+//	mpcsim -testbed dcube -iters 2000 -workers 0    # fan trials over all cores
 package main
 
 import (
@@ -13,11 +14,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"iotmpc/internal/core"
 	"iotmpc/internal/experiment"
 	"iotmpc/internal/hepda"
 	"iotmpc/internal/metrics"
+	"iotmpc/internal/sim"
 	"iotmpc/internal/topology"
 	"iotmpc/internal/trace"
 )
@@ -39,12 +42,16 @@ func run(args []string) error {
 		ntx         = fs.Int("ntx", 0, "S4 sharing NTX (0: 6)")
 		slack       = fs.Int("slack", 1, "extra destinations beyond k+1 (S4 fault tolerance)")
 		iters       = fs.Int("iters", 20, "Monte-Carlo iterations")
+		workers     = fs.Int("workers", 1, "iteration worker goroutines (0: GOMAXPROCS)")
 		seed        = fs.Int64("seed", 1, "randomness seed")
 		verbose     = fs.Bool("v", false, "print per-iteration results")
 		dumpTrace   = fs.Bool("trace", false, "print the first iteration's event trace as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *iters < 0 {
+		return fmt.Errorf("negative -iters %d", *iters)
 	}
 
 	testbed, err := pickTestbed(*testbedName)
@@ -89,31 +96,60 @@ func run(args []string) error {
 		fmt.Printf("destination set (|D|=%d): %v\n", len(boot.Dests), boot.Dests)
 	}
 
-	var lat, radio metrics.Series
-	okNodes, totalNodes := 0, 0
-	for trial := 0; trial < *iters; trial++ {
+	// Trials are independent (per-trial RNG streams, immutable bootstrap), so
+	// they fan across the worker pool; the fold only needs four scalars per
+	// trial, kept at the trial's index and folded in trial order so the
+	// output is identical for any -workers (and memory stays O(iters), not
+	// O(iters × nodes)).
+	type trialStats struct {
+		meanLatency time.Duration
+		meanRadioOn time.Duration
+		correct     int
+		nodes       int
+	}
+	rounds := make([]trialStats, *iters)
+	var firstTrace *trace.Recorder
+	if *dumpTrace && *iters > 0 {
+		firstTrace = &trace.Recorder{}
+	}
+	err = sim.ParallelFor(*iters, *workers, func(trial int) error {
 		var rec *trace.Recorder
-		if *dumpTrace && trial == 0 {
-			rec = &trace.Recorder{}
+		if trial == 0 {
+			rec = firstTrace
 		}
 		res, err := core.RunRoundTraced(boot, uint64(trial), nil, rec)
 		if err != nil {
 			return err
 		}
-		if rec != nil {
-			raw, err := rec.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Printf("trace (%s):\n%s\n", rec.Summary(), raw)
+		rounds[trial] = trialStats{
+			meanLatency: res.MeanLatency,
+			meanRadioOn: res.MeanRadioOn,
+			correct:     res.CorrectNodes,
+			nodes:       len(res.NodeOK),
 		}
-		lat.AddDuration(res.MeanLatency)
-		radio.AddDuration(res.MeanRadioOn)
-		okNodes += res.CorrectNodes
-		totalNodes += len(res.NodeOK)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if firstTrace != nil {
+		raw, err := firstTrace.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace (%s):\n%s\n", firstTrace.Summary(), raw)
+	}
+
+	var lat, radio metrics.Series
+	okNodes, totalNodes := 0, 0
+	for trial, res := range rounds {
+		lat.AddDuration(res.meanLatency)
+		radio.AddDuration(res.meanRadioOn)
+		okNodes += res.correct
+		totalNodes += res.nodes
 		if *verbose {
 			fmt.Printf("  iter %3d: latency=%v radio-on=%v correct=%d/%d\n",
-				trial, res.MeanLatency, res.MeanRadioOn, res.CorrectNodes, n)
+				trial, res.meanLatency, res.meanRadioOn, res.correct, n)
 		}
 	}
 

@@ -1,0 +1,3 @@
+module iotmpc
+
+go 1.24

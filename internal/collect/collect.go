@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"iotmpc/internal/field"
 	"iotmpc/internal/phy"
 	"iotmpc/internal/sim"
 )
@@ -270,4 +271,44 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 		}
 	}
 	return res, nil
+}
+
+// AggregateReadings computes the sink's in-network aggregate for a round in
+// which every node reports a whole vector of readings (multi-sensor samples
+// or a window of values): the element-wise field sum of the vectors of all
+// nodes whose contribution reached the sink. Nodes that failed delivery
+// contribute nothing, mirroring how a convergecast aggregate silently drops
+// lost subtrees. readings[i] is node i's vector; all vectors must share one
+// width. The fold runs through the batched field layer (field.AccumulateVec),
+// so the per-node cost is a single fused pass regardless of vector width.
+func AggregateReadings(res *Result, readings [][]field.Element) ([]field.Element, error) {
+	if res == nil {
+		return nil, fmt.Errorf("%w: nil result", ErrBadConfig)
+	}
+	if len(readings) != len(res.DeliveredToSink) {
+		return nil, fmt.Errorf("%w: %d reading vectors for %d nodes",
+			ErrBadConfig, len(readings), len(res.DeliveredToSink))
+	}
+	width := -1
+	for i, r := range readings {
+		if width < 0 {
+			width = len(r)
+		} else if len(r) != width {
+			return nil, fmt.Errorf("%w: reading vector %d has width %d, expected %d",
+				ErrBadConfig, i, len(r), width)
+		}
+	}
+	if width < 0 {
+		width = 0
+	}
+	sum := make([]field.Element, width)
+	for i, delivered := range res.DeliveredToSink {
+		if !delivered {
+			continue
+		}
+		if err := field.AccumulateVec(sum, readings[i]); err != nil {
+			return nil, err
+		}
+	}
+	return sum, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"iotmpc/internal/field"
 	"iotmpc/internal/phy"
 	"iotmpc/internal/sim"
 	"iotmpc/internal/topology"
@@ -216,5 +217,69 @@ func TestDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a.FramesSent != b.FramesSent || a.Duration != b.Duration {
 		t.Error("same seed diverged")
+	}
+}
+
+func TestAggregateReadings(t *testing.T) {
+	ch := flockChannel(t)
+	tree, err := BuildTree(ch, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ch.NumNodes()
+	cfg := Config{Channel: ch, Tree: tree, MessageBytes: 32}
+	res, err := Run(cfg, rand.New(rand.NewSource(3)), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const width = 4
+	readings := make([][]field.Element, n)
+	for i := range readings {
+		readings[i] = make([]field.Element, width)
+		for k := range readings[i] {
+			readings[i][k] = field.New(uint64(i*width + k + 1))
+		}
+	}
+	got, err := AggregateReadings(res, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]field.Element, width)
+	for i, delivered := range res.DeliveredToSink {
+		if !delivered {
+			continue
+		}
+		for k := range want {
+			want[k] = want[k].Add(readings[i][k])
+		}
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("aggregate[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestAggregateReadingsErrors(t *testing.T) {
+	if _, err := AggregateReadings(nil, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil result: %v", err)
+	}
+	res := &Result{DeliveredToSink: []bool{true, true}}
+	if _, err := AggregateReadings(res, make([][]field.Element, 3)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("size mismatch: %v", err)
+	}
+	ragged := [][]field.Element{{field.One}, {field.One, field.One}}
+	if _, err := AggregateReadings(res, ragged); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("ragged widths: %v", err)
+	}
+	// Zero-width vectors are a valid degenerate case.
+	empty := [][]field.Element{{}, {}}
+	sum, err := AggregateReadings(res, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum) != 0 {
+		t.Fatalf("zero-width aggregate = %v", sum)
 	}
 }

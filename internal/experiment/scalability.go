@@ -2,12 +2,10 @@ package experiment
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"iotmpc/internal/core"
 	"iotmpc/internal/metrics"
-	"iotmpc/internal/topology"
 )
 
 // ScalabilityPoint is one network size in the scalability study: the
@@ -29,16 +27,12 @@ func ScalabilitySweep(sizes []int, iterations int, seed int64) ([]ScalabilityPoi
 	if iterations <= 0 || len(sizes) == 0 {
 		return nil, fmt.Errorf("%w: %d iterations over %d sizes", ErrBadSpec, iterations, len(sizes))
 	}
-	const density = 0.009 // nodes per m²: ~26 nodes in a 60×48 m office
 	points := make([]ScalabilityPoint, 0, len(sizes))
 	for _, n := range sizes {
 		if n < 6 {
 			return nil, fmt.Errorf("%w: size %d too small", ErrBadSpec, n)
 		}
-		area := float64(n) / density
-		w := math.Sqrt(area * 1.6)
-		h := area / w
-		testbed, err := topology.RandomGeometric(n, w, h, seed)
+		testbed, err := officeDeployment(n, seed)
 		if err != nil {
 			return nil, err
 		}

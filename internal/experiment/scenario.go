@@ -1,0 +1,280 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"iotmpc/internal/core"
+	"iotmpc/internal/metrics"
+	"iotmpc/internal/phy"
+	"iotmpc/internal/sim"
+	"iotmpc/internal/topology"
+)
+
+// The scenario engine sweeps the protocol over a declarative parameter
+// matrix — network size × threshold × loss rate × protocol — and fans the
+// resulting scenarios across a worker pool. Each scenario is fully
+// self-contained (own topology, own bootstrap, own RNG streams rooted in a
+// per-scenario seed derived from the matrix seed and the scenario's index),
+// so a parallel run produces byte-identical results to a sequential one:
+// the worker count is a throughput knob, never a semantics knob.
+
+// officeDensity is the node density (nodes per m²) used when synthesizing
+// deployments of a requested size: ~26 nodes in a 60×48 m office, matching
+// the FlockLab-like setting of the scalability study. Constant density means
+// bigger networks get physically deeper, which is what stresses multi-hop
+// protocols.
+const officeDensity = 0.009
+
+// officeDeployment synthesizes an n-node random-geometric testbed at
+// officeDensity over a 1.6:1 rectangle — the shared deployment model of the
+// scenario engine and the scalability study.
+func officeDeployment(n int, seed int64) (topology.Topology, error) {
+	area := float64(n) / officeDensity
+	w := math.Sqrt(area * 1.6)
+	h := area / w
+	return topology.RandomGeometric(n, w, h, seed)
+}
+
+// Scenario is one fully-specified cell of a sweep matrix.
+type Scenario struct {
+	// Index is the scenario's position in the expanded matrix; results are
+	// reported in this order regardless of execution interleaving.
+	Index int `json:"index"`
+	// Nodes is the deployment size (random-geometric at officeDensity).
+	Nodes int `json:"nodes"`
+	// Degree is the polynomial degree k; 0 selects the paper's ⌊n/3⌋.
+	Degree int `json:"degree"`
+	// LossRate is the per-phase interference burst probability in [0, 1) —
+	// the knob that degrades the radio environment beyond the default model.
+	LossRate float64 `json:"lossRate"`
+	// Protocol selects S3 or S4.
+	Protocol core.Protocol `json:"protocol"`
+	// NTXSharing is S4's sharing/reconstruction NTX (0 selects 6).
+	NTXSharing int `json:"ntxSharing"`
+	// DestSlack is S4's extra-destination count.
+	DestSlack int `json:"destSlack"`
+	// Iterations is the Monte-Carlo repetition count.
+	Iterations int `json:"iterations"`
+	// Seed roots every random choice of the scenario (topology, shadowing,
+	// secrets, fading). Derived deterministically from the matrix seed.
+	Seed int64 `json:"seed"`
+}
+
+// Matrix declares a sweep as per-axis value lists; Scenarios expands the
+// cross product. Nil axes select defaults, so the zero value plus NodeCounts
+// and Iterations is a runnable spec.
+type Matrix struct {
+	// NodeCounts is the network-size axis (each >= 6). Required.
+	NodeCounts []int
+	// Degrees is the threshold axis; nil selects {0} (= ⌊n/3⌋).
+	Degrees []int
+	// LossRates is the interference axis; nil selects the default PHY burst
+	// probability. Values must lie in [0, 1).
+	LossRates []float64
+	// Protocols is the protocol axis; nil selects {S3, S4}.
+	Protocols []core.Protocol
+	// NTXSharing and DestSlack apply to every scenario (0 → defaults).
+	NTXSharing int
+	DestSlack  int
+	// Iterations is the Monte-Carlo repetition count per scenario. Required.
+	Iterations int
+	// Seed roots the whole sweep; per-scenario seeds are derived from it.
+	Seed int64
+}
+
+// Scenarios expands the matrix into the ordered scenario list. Expansion
+// order is nodes → degree → loss rate → protocol (protocol innermost, so
+// paired protocol comparisons sit adjacent in reports). Each scenario's seed
+// is sim.DeriveSeed(matrix seed, index): reordering or extending an axis
+// re-seeds affected scenarios, but a given (matrix, index) pair is stable
+// across runs and worker counts.
+func (m Matrix) Scenarios() ([]Scenario, error) {
+	if len(m.NodeCounts) == 0 {
+		return nil, fmt.Errorf("%w: no node counts", ErrBadSpec)
+	}
+	if m.Iterations <= 0 {
+		return nil, fmt.Errorf("%w: iterations %d", ErrBadSpec, m.Iterations)
+	}
+	degrees := m.Degrees
+	if len(degrees) == 0 {
+		degrees = []int{0}
+	}
+	lossRates := m.LossRates
+	if len(lossRates) == 0 {
+		lossRates = []float64{phy.DefaultParams().InterferenceBurstProb}
+	}
+	protocols := m.Protocols
+	if len(protocols) == 0 {
+		protocols = []core.Protocol{core.S3, core.S4}
+	}
+	for _, n := range m.NodeCounts {
+		if n < 6 {
+			return nil, fmt.Errorf("%w: %d nodes too few (need >= 6)", ErrBadSpec, n)
+		}
+	}
+	for _, lr := range lossRates {
+		if lr < 0 || lr >= 1 {
+			return nil, fmt.Errorf("%w: loss rate %f outside [0,1)", ErrBadSpec, lr)
+		}
+	}
+
+	out := make([]Scenario, 0, len(m.NodeCounts)*len(degrees)*len(lossRates)*len(protocols))
+	for _, nodes := range m.NodeCounts {
+		for _, degree := range degrees {
+			for _, lr := range lossRates {
+				for _, proto := range protocols {
+					idx := len(out)
+					out = append(out, Scenario{
+						Index:      idx,
+						Nodes:      nodes,
+						Degree:     degree,
+						LossRate:   lr,
+						Protocol:   proto,
+						NTXSharing: m.NTXSharing,
+						DestSlack:  m.DestSlack,
+						Iterations: m.Iterations,
+						Seed:       sim.DeriveSeed(m.Seed, uint64(idx)),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScenarioResult is one scenario's aggregated metrics.
+type ScenarioResult struct {
+	Scenario Scenario `json:"scenario"`
+	// LatencyMS summarizes mean end-to-end latency over successful rounds.
+	LatencyMS metrics.Summary `json:"latencyMs"`
+	// RadioOnMS summarizes mean per-node radio-on time over all rounds.
+	RadioOnMS metrics.Summary `json:"radioOnMs"`
+	// SuccessRate is the fraction of node-rounds with a correct aggregate.
+	SuccessRate float64 `json:"successRate"`
+	// FailedRounds counts rounds in which no node reconstructed at all.
+	FailedRounds int `json:"failedRounds"`
+}
+
+// RunScenario executes one scenario sequentially: synthesize the deployment,
+// bootstrap once, then run the Monte-Carlo trials. All randomness descends
+// from Scenario.Seed, so repeated calls are bit-identical.
+func RunScenario(sc Scenario) (ScenarioResult, error) {
+	if sc.Nodes < 6 {
+		return ScenarioResult{}, fmt.Errorf("%w: %d nodes", ErrBadSpec, sc.Nodes)
+	}
+	if sc.Iterations <= 0 {
+		return ScenarioResult{}, fmt.Errorf("%w: iterations %d", ErrBadSpec, sc.Iterations)
+	}
+	testbed, err := officeDeployment(sc.Nodes, sc.Seed)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	sources, err := SpreadSources(sc.Nodes, sc.Nodes)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	params := phy.DefaultParams()
+	params.InterferenceBurstProb = sc.LossRate
+	cfg := core.Config{
+		Topology:    testbed,
+		PHY:         params,
+		Protocol:    sc.Protocol,
+		Sources:     sources,
+		Degree:      sc.Degree,
+		NTXSharing:  sc.NTXSharing,
+		DestSlack:   sc.DestSlack,
+		ChannelSeed: sc.Seed,
+	}
+	boot, err := core.RunBootstrap(cfg)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("scenario %d (n=%d %v loss=%.2f): %w",
+			sc.Index, sc.Nodes, sc.Protocol, sc.LossRate, err)
+	}
+
+	var lat, radio metrics.Series
+	okNodes, totalNodes, failedRounds := 0, 0, 0
+	for trial := 0; trial < sc.Iterations; trial++ {
+		res, err := core.RunRound(boot, uint64(trial))
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		if res.CorrectNodes > 0 {
+			lat.AddDuration(res.MeanLatency)
+		} else {
+			failedRounds++
+		}
+		radio.AddDuration(res.MeanRadioOn)
+		okNodes += res.CorrectNodes
+		totalNodes += len(res.NodeOK)
+	}
+	out := ScenarioResult{
+		Scenario:     sc,
+		SuccessRate:  float64(okNodes) / float64(totalNodes),
+		FailedRounds: failedRounds,
+	}
+	if lat.Len() > 0 {
+		if out.LatencyMS, err = lat.Summarize(); err != nil {
+			return ScenarioResult{}, fmt.Errorf("latency summary: %w", err)
+		}
+	}
+	if out.RadioOnMS, err = radio.Summarize(); err != nil {
+		return ScenarioResult{}, fmt.Errorf("radio summary: %w", err)
+	}
+	return out, nil
+}
+
+// RunMatrix expands the matrix and fans the scenarios across a worker pool
+// (workers <= 0 selects GOMAXPROCS). Results land at their scenario's index,
+// so the output — down to the last float — is identical for any worker
+// count, including 1.
+func RunMatrix(m Matrix, workers int) ([]ScenarioResult, error) {
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]ScenarioResult, len(scenarios))
+	err = sim.ParallelFor(len(scenarios), workers, func(i int) error {
+		res, err := RunScenario(scenarios[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// MatrixTable renders a sweep as an aligned text table.
+func MatrixTable(results []ScenarioResult) string {
+	var b strings.Builder
+	b.WriteString("Scenario matrix — nodes × degree × loss × protocol\n")
+	fmt.Fprintf(&b, "%-5s %-6s %-7s %-6s %-6s %14s %14s %10s %7s\n",
+		"idx", "nodes", "degree", "loss", "proto", "latency (ms)", "radio-on (ms)", "success", "failed")
+	for _, r := range results {
+		sc := r.Scenario
+		fmt.Fprintf(&b, "%-5d %-6d %-7d %-6.2f %-6s %14.1f %14.1f %9.1f%% %7d\n",
+			sc.Index, sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
+			r.LatencyMS.Mean, r.RadioOnMS.Mean, r.SuccessRate*100, r.FailedRounds)
+	}
+	return b.String()
+}
+
+// MatrixCSV renders a sweep as CSV, one line per scenario.
+func MatrixCSV(results []ScenarioResult) string {
+	var b strings.Builder
+	b.WriteString("index,nodes,degree,loss_rate,protocol,latency_ms_mean,latency_ms_ci95,radio_ms_mean,radio_ms_ci95,success_rate,failed_rounds\n")
+	for _, r := range results {
+		sc := r.Scenario
+		fmt.Fprintf(&b, "%d,%d,%d,%.3f,%s,%.3f,%.3f,%.3f,%.3f,%.4f,%d\n",
+			sc.Index, sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
+			r.LatencyMS.Mean, r.LatencyMS.CI95,
+			r.RadioOnMS.Mean, r.RadioOnMS.CI95,
+			r.SuccessRate, r.FailedRounds)
+	}
+	return b.String()
+}

@@ -70,3 +70,113 @@ func BenchmarkInterpolateAtZero(b *testing.B) {
 		})
 	}
 }
+
+// Scalar-vs-batched comparisons. The batch entry points exist to beat these
+// scalar loops; run with -bench 'Vec|BatchInvert|Lagrange' to confirm.
+
+func BenchmarkAddScalarLoop(b *testing.B) {
+	// Scalar baseline for AddVec: build the result vector element by element,
+	// allocating the destination as AddVec's contract does.
+	xs := benchElements(1024)
+	ys := benchElements(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([]Element, len(xs))
+		for j := range xs {
+			out[j] = xs[j].Add(ys[j])
+		}
+		_ = out
+	}
+}
+
+func BenchmarkAddVec(b *testing.B) {
+	xs := benchElements(1024)
+	ys := benchElements(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AddVec(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccumulateVec(b *testing.B) {
+	// The allocation-free aggregation inner loop (dst += src).
+	xs := benchElements(1024)
+	dst := make([]Element, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := AccumulateVec(dst, xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvertScalarLoop(b *testing.B) {
+	xs := benchElements(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			if _, err := x.Inv(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchInvert(b *testing.B) {
+	xs := benchElements(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BatchInvert(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPoints(k int) []Point {
+	rng := rand.New(rand.NewSource(3))
+	p, err := NewRandomPoly(New(12345), k, rng)
+	if err != nil {
+		panic(err)
+	}
+	points := make([]Point, k+1)
+	for i := range points {
+		x := New(uint64(i + 1))
+		points[i] = Point{X: x, Y: p.Eval(x)}
+	}
+	return points
+}
+
+func BenchmarkInterpolateAtZeroUncached(b *testing.B) {
+	points := benchPoints(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InterpolateAtZero(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpolateAtZeroCached(b *testing.B) {
+	points := benchPoints(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InterpolateAtZeroCached(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLagrangeCoefficientsAtZero(b *testing.B) {
+	xs := make([]Element, 16)
+	for i := range xs {
+		xs[i] = New(uint64(i + 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LagrangeCoefficientsAtZero(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

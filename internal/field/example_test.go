@@ -1,0 +1,46 @@
+package field_test
+
+import (
+	"fmt"
+
+	"iotmpc/internal/field"
+)
+
+// Batch arithmetic moves whole vectors of readings through the field in one
+// call — the shape the sharing and aggregation hot paths use.
+func ExampleAddVec() {
+	temps := []field.Element{field.New(21), field.New(23), field.New(19)}
+	humid := []field.Element{field.New(40), field.New(38), field.New(45)}
+	sum, err := field.AddVec(temps, humid)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum)
+	// Output: [61 61 64]
+}
+
+// BatchInvert inverts a whole vector with a single field inversion
+// (Montgomery's trick) — the step that makes computing a Lagrange basis
+// cheap enough to do per reconstruction set.
+func ExampleBatchInvert() {
+	xs := []field.Element{field.New(2), field.New(3), field.New(5)}
+	invs, err := field.BatchInvert(xs)
+	if err != nil {
+		panic(err)
+	}
+	for i := range xs {
+		fmt.Println(xs[i].Mul(invs[i]))
+	}
+	// Output:
+	// 1
+	// 1
+	// 1
+}
+
+// ScalarMulVec scales a share vector by a Lagrange coefficient — one term of
+// a vectorized reconstruction Σ λᵢ·yᵢ.
+func ExampleScalarMulVec() {
+	readings := []field.Element{field.New(10), field.New(20)}
+	fmt.Println(field.ScalarMulVec(field.New(3), readings))
+	// Output: [30 60]
+}

@@ -65,7 +65,9 @@ func InterpolateAtZero(points []Point) (Element, error) {
 // LagrangeCoefficientsAtZero precomputes the weights λᵢ such that
 // P(0) = Σ λᵢ·yᵢ for the given x coordinates. Callers that reconstruct many
 // polynomials over the same point set (every aggregation round does) can pay
-// the inversions once.
+// the inversions once. All denominators are inverted together via
+// BatchInvert, so the whole coefficient vector costs a single field
+// inversion regardless of the set size.
 func LagrangeCoefficientsAtZero(xs []Element) ([]Element, error) {
 	if len(xs) == 0 {
 		return nil, ErrNoPoints
@@ -77,7 +79,8 @@ func LagrangeCoefficientsAtZero(xs []Element) ([]Element, error) {
 		}
 		seen[x] = struct{}{}
 	}
-	coeffs := make([]Element, len(xs))
+	nums := make([]Element, len(xs))
+	dens := make([]Element, len(xs))
 	for i, xi := range xs {
 		num := One
 		den := One
@@ -88,11 +91,18 @@ func LagrangeCoefficientsAtZero(xs []Element) ([]Element, error) {
 			num = num.Mul(xj.Neg())
 			den = den.Mul(xi.Sub(xj))
 		}
-		invDen, err := den.Inv()
-		if err != nil {
-			return nil, fmt.Errorf("lagrange coefficient %d: %w", i, err)
-		}
-		coeffs[i] = num.Mul(invDen)
+		nums[i] = num
+		dens[i] = den
+	}
+	invDens, err := BatchInvert(dens)
+	if err != nil {
+		// A zero denominator means xᵢ = xⱼ for some pair, caught above;
+		// surface it defensively anyway.
+		return nil, fmt.Errorf("lagrange denominators: %w", err)
+	}
+	coeffs, err := MulVec(nums, invDens)
+	if err != nil {
+		return nil, err // unreachable: lengths match by construction
 	}
 	return coeffs, nil
 }

@@ -1,0 +1,170 @@
+package field
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestVecOpsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]Element, 257)
+	b := make([]Element, 257)
+	for i := range a {
+		a[i] = randomCanonical(rng)
+		b[i] = randomCanonical(rng)
+	}
+
+	sum, err := AddVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := SubVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := MulVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := randomCanonical(rng)
+	scaled := ScalarMulVec(c, a)
+	for i := range a {
+		if sum[i] != a[i].Add(b[i]) {
+			t.Fatalf("AddVec[%d] = %v, want %v", i, sum[i], a[i].Add(b[i]))
+		}
+		if diff[i] != a[i].Sub(b[i]) {
+			t.Fatalf("SubVec[%d] = %v, want %v", i, diff[i], a[i].Sub(b[i]))
+		}
+		if prod[i] != a[i].Mul(b[i]) {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, prod[i], a[i].Mul(b[i]))
+		}
+		if scaled[i] != c.Mul(a[i]) {
+			t.Fatalf("ScalarMulVec[%d] = %v, want %v", i, scaled[i], c.Mul(a[i]))
+		}
+	}
+}
+
+func TestVecOpsEmpty(t *testing.T) {
+	for name, fn := range map[string]func(a, b []Element) ([]Element, error){
+		"AddVec": AddVec, "SubVec": SubVec, "MulVec": MulVec,
+	} {
+		out, err := fn([]Element{}, nil)
+		if err != nil {
+			t.Fatalf("%s on empty: %v", name, err)
+		}
+		if out == nil || len(out) != 0 {
+			t.Fatalf("%s on empty: got %v, want empty non-nil", name, out)
+		}
+	}
+	if out := ScalarMulVec(One, nil); len(out) != 0 {
+		t.Fatalf("ScalarMulVec on nil: got %v", out)
+	}
+	if err := AccumulateVec(nil, nil); err != nil {
+		t.Fatalf("AccumulateVec on nil: %v", err)
+	}
+	out, err := BatchInvert(nil)
+	if err != nil {
+		t.Fatalf("BatchInvert on nil: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("BatchInvert on nil: got %v", out)
+	}
+}
+
+func TestVecOpsLengthMismatch(t *testing.T) {
+	a := []Element{One, One}
+	b := []Element{One}
+	if _, err := AddVec(a, b); !errors.Is(err, ErrLenMismatch) {
+		t.Fatalf("AddVec mismatch: %v", err)
+	}
+	if _, err := SubVec(a, b); !errors.Is(err, ErrLenMismatch) {
+		t.Fatalf("SubVec mismatch: %v", err)
+	}
+	if _, err := MulVec(a, b); !errors.Is(err, ErrLenMismatch) {
+		t.Fatalf("MulVec mismatch: %v", err)
+	}
+	if err := AccumulateVec(a, b); !errors.Is(err, ErrLenMismatch) {
+		t.Fatalf("AccumulateVec mismatch: %v", err)
+	}
+	if err := MulAccVec(a, One, b); !errors.Is(err, ErrLenMismatch) {
+		t.Fatalf("MulAccVec mismatch: %v", err)
+	}
+}
+
+func TestAccumulateAndMulAcc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dst := make([]Element, 64)
+	src := make([]Element, 64)
+	want := make([]Element, 64)
+	for i := range dst {
+		dst[i] = randomCanonical(rng)
+		src[i] = randomCanonical(rng)
+		want[i] = dst[i]
+	}
+	c := randomCanonical(rng)
+	if err := AccumulateVec(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		want[i] = want[i].Add(src[i])
+		if dst[i] != want[i] {
+			t.Fatalf("AccumulateVec[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	if err := MulAccVec(dst, c, src); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		want[i] = want[i].Add(c.Mul(src[i]))
+		if dst[i] != want[i] {
+			t.Fatalf("MulAccVec[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestBatchInvertMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 17, 128} {
+		xs := make([]Element, n)
+		for i := range xs {
+			for xs[i].IsZero() {
+				xs[i] = randomCanonical(rng)
+			}
+		}
+		invs, err := BatchInvert(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range xs {
+			want, err := x.Inv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if invs[i] != want {
+				t.Fatalf("n=%d: BatchInvert[%d] = %v, want %v", n, i, invs[i], want)
+			}
+			if got := x.Mul(invs[i]); got != One {
+				t.Fatalf("n=%d: x·x⁻¹ = %v", n, got)
+			}
+		}
+	}
+}
+
+func TestBatchInvertZeroElement(t *testing.T) {
+	xs := []Element{New(3), Zero, New(7)}
+	if _, err := BatchInvert(xs); !errors.Is(err, ErrZeroInBatch) {
+		t.Fatalf("expected ErrZeroInBatch, got %v", err)
+	}
+	// The input must be untouched so callers can diagnose.
+	if xs[0] != New(3) || xs[1] != Zero || xs[2] != New(7) {
+		t.Fatalf("input mutated: %v", xs)
+	}
+	// Zero in the first and last positions too.
+	if _, err := BatchInvert([]Element{Zero}); !errors.Is(err, ErrZeroInBatch) {
+		t.Fatalf("expected ErrZeroInBatch, got %v", err)
+	}
+	if _, err := BatchInvert([]Element{One, Zero}); !errors.Is(err, ErrZeroInBatch) {
+		t.Fatalf("expected ErrZeroInBatch, got %v", err)
+	}
+}

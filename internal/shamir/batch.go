@@ -1,0 +1,113 @@
+package shamir
+
+import (
+	"fmt"
+	"io"
+
+	"iotmpc/internal/field"
+)
+
+// Vectorized sharing. IoT nodes rarely report a single scalar: a reading is
+// a vector (temperature, humidity, CO₂, …) or a whole window of samples.
+// Sharing m secrets toward n points naively runs the scalar pipeline m times;
+// the entry points here move whole vectors through the batched field layer
+// instead, and reconstruction reuses one cached Lagrange basis for every
+// coordinate — one inversion for the entire vector instead of one per entry.
+
+// ShareVector is the evaluation of m independent sharing polynomials at one
+// public point: Values[k] = P_k(X). It is the vector analogue of Share and
+// aggregates the same way (element-wise sums stay on the sum polynomials).
+type ShareVector struct {
+	X      field.Element
+	Values []field.Element
+}
+
+// SplitVec shares a vector of secrets toward the given public points, one
+// fresh random polynomial per secret. The result holds one ShareVector per
+// point: out[j].Values[k] is point j's share of secrets[k]. An empty secret
+// vector is valid and yields empty ShareVectors — absent readings aggregate
+// as zero downstream.
+func SplitVec(secrets []field.Element, degree int, points []field.Element, rng io.Reader) ([]ShareVector, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("%w: negative degree %d", ErrBadParams, degree)
+	}
+	if len(points) < degree+1 {
+		return nil, fmt.Errorf("%w: %d points for degree %d (need >= %d)",
+			ErrBadParams, len(points), degree, degree+1)
+	}
+	for _, x := range points {
+		if x.IsZero() {
+			return nil, fmt.Errorf("%w: public point 0 would leak the secret", ErrBadParams)
+		}
+	}
+	out := make([]ShareVector, len(points))
+	for j, x := range points {
+		out[j] = ShareVector{X: x, Values: make([]field.Element, len(secrets))}
+	}
+	for k, secret := range secrets {
+		poly, err := field.NewRandomPoly(secret, degree, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sample polynomial %d: %w", k, err)
+		}
+		for j, x := range points {
+			out[j].Values[k] = poly.Eval(x)
+		}
+	}
+	return out, nil
+}
+
+// ReconstructVec recovers the full secret vector from at least degree+1
+// share vectors. The Lagrange basis for the point set is fetched from the
+// process-wide coefficient cache once and applied to every coordinate via
+// fused multiply-accumulate, so the per-coordinate cost is len(shares)
+// multiplications — no inversions on the warm path.
+func ReconstructVec(shares []ShareVector, degree int) ([]field.Element, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("%w: negative degree %d", ErrBadParams, degree)
+	}
+	need := degree + 1
+	if len(shares) < need {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrThreshold, len(shares), need)
+	}
+	shares = shares[:need]
+	width := len(shares[0].Values)
+	xs := make([]field.Element, need)
+	for i, sv := range shares {
+		if len(sv.Values) != width {
+			return nil, fmt.Errorf("%w: share vector %d has %d values, expected %d",
+				ErrBadParams, i, len(sv.Values), width)
+		}
+		xs[i] = sv.X
+	}
+	coeffs, err := field.CachedCoefficientsAtZero(xs)
+	if err != nil {
+		return nil, fmt.Errorf("lagrange basis: %w", err)
+	}
+	secrets := make([]field.Element, width)
+	for i, sv := range shares {
+		if err := field.MulAccVec(secrets, coeffs[i], sv.Values); err != nil {
+			return nil, err
+		}
+	}
+	return secrets, nil
+}
+
+// AggregateShareVectors sums share vectors bound to the same public point —
+// the vector form of AggregateShares a destination runs during local
+// aggregation. All inputs must have the same width.
+func AggregateShareVectors(vecs []ShareVector) (ShareVector, error) {
+	if len(vecs) == 0 {
+		return ShareVector{}, fmt.Errorf("%w: empty aggregation", ErrBadParams)
+	}
+	x := vecs[0].X
+	sum := make([]field.Element, len(vecs[0].Values))
+	for _, v := range vecs {
+		if v.X != x {
+			return ShareVector{}, fmt.Errorf("%w: %v vs %v", ErrMixedPoints, v.X, x)
+		}
+		if err := field.AccumulateVec(sum, v.Values); err != nil {
+			return ShareVector{}, err
+		}
+	}
+	return ShareVector{X: x, Values: sum}, nil
+}

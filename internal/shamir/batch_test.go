@@ -1,0 +1,199 @@
+package shamir
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/field"
+)
+
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func randomSecrets(rng *rand.Rand, m int) []field.Element {
+	out := make([]field.Element, m)
+	for i := range out {
+		out[i] = field.New(rng.Uint64())
+	}
+	return out
+}
+
+func TestSplitVecReconstructVecRoundtrip(t *testing.T) {
+	rng := testRNG(31)
+	points := PublicPoints(9)
+	for _, m := range []int{1, 3, 16} {
+		secrets := randomSecrets(rng, m)
+		vecs, err := SplitVec(secrets, 4, points, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vecs) != len(points) {
+			t.Fatalf("m=%d: got %d share vectors, want %d", m, len(vecs), len(points))
+		}
+		got, err := ReconstructVec(vecs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range secrets {
+			if got[k] != secrets[k] {
+				t.Fatalf("m=%d: secret[%d] = %v, want %v", m, k, got[k], secrets[k])
+			}
+		}
+		// Any other threshold-sized subset reconstructs too.
+		subset := []ShareVector{vecs[8], vecs[2], vecs[5], vecs[0], vecs[6]}
+		got, err = ReconstructVec(subset, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range secrets {
+			if got[k] != secrets[k] {
+				t.Fatalf("m=%d subset: secret[%d] = %v, want %v", m, k, got[k], secrets[k])
+			}
+		}
+	}
+}
+
+func TestSplitVecMatchesScalarSemantics(t *testing.T) {
+	// A width-1 vector sharing must behave exactly like a scalar sharing:
+	// same threshold, same privacy structure, reconstruct to the secret.
+	rng := testRNG(32)
+	points := PublicPoints(5)
+	secret := field.New(424242)
+	vecs, err := SplitVec([]field.Element{secret}, 2, points, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := make([]Share, len(vecs))
+	for i, v := range vecs {
+		shares[i] = Share{X: v.X, Value: v.Values[0]}
+	}
+	got, err := Reconstruct(shares, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Fatalf("got %v, want %v", got, secret)
+	}
+}
+
+func TestSplitVecEmptySecrets(t *testing.T) {
+	rng := testRNG(33)
+	points := PublicPoints(4)
+	vecs, err := SplitVec(nil, 2, points, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReconstructVec(vecs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty sharing reconstructed %v", got)
+	}
+}
+
+func TestSplitVecErrors(t *testing.T) {
+	rng := testRNG(34)
+	points := PublicPoints(4)
+	if _, err := SplitVec(randomSecrets(rng, 2), -1, points, rng); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("negative degree: %v", err)
+	}
+	if _, err := SplitVec(randomSecrets(rng, 2), 4, points, rng); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("too few points: %v", err)
+	}
+	zeroPoint := []field.Element{field.New(1), field.Zero, field.New(3)}
+	if _, err := SplitVec(randomSecrets(rng, 2), 1, zeroPoint, rng); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("zero public point: %v", err)
+	}
+}
+
+func TestReconstructVecErrors(t *testing.T) {
+	rng := testRNG(35)
+	points := PublicPoints(6)
+	vecs, err := SplitVec(randomSecrets(rng, 3), 3, points, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconstructVec(vecs[:3], 3); !errors.Is(err, ErrThreshold) {
+		t.Fatalf("too few share vectors: %v", err)
+	}
+	ragged := []ShareVector{vecs[0], vecs[1], vecs[2], {X: vecs[3].X, Values: vecs[3].Values[:2]}}
+	if _, err := ReconstructVec(ragged, 3); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("ragged widths: %v", err)
+	}
+}
+
+func TestAggregateShareVectorsHomomorphism(t *testing.T) {
+	// Element-wise sums of share vectors are share vectors of the element-wise
+	// sum of secrets — the property local aggregation rides on.
+	rng := testRNG(36)
+	points := PublicPoints(7)
+	const parties, width, degree = 4, 5, 2
+
+	allSecrets := make([][]field.Element, parties)
+	perPoint := make([][]ShareVector, len(points))
+	for p := 0; p < parties; p++ {
+		allSecrets[p] = randomSecrets(rng, width)
+		vecs, err := SplitVec(allSecrets[p], degree, points, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range vecs {
+			perPoint[j] = append(perPoint[j], v)
+		}
+	}
+	sums := make([]ShareVector, len(points))
+	for j := range points {
+		agg, err := AggregateShareVectors(perPoint[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[j] = agg
+	}
+	got, err := ReconstructVec(sums, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < width; k++ {
+		want := field.Zero
+		for p := 0; p < parties; p++ {
+			want = want.Add(allSecrets[p][k])
+		}
+		if got[k] != want {
+			t.Fatalf("aggregate[%d] = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestAggregateShareVectorsErrors(t *testing.T) {
+	if _, err := AggregateShareVectors(nil); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("empty aggregation: %v", err)
+	}
+	a := ShareVector{X: field.New(1), Values: []field.Element{field.One}}
+	b := ShareVector{X: field.New(2), Values: []field.Element{field.One}}
+	if _, err := AggregateShareVectors([]ShareVector{a, b}); !errors.Is(err, ErrMixedPoints) {
+		t.Fatalf("mixed points: %v", err)
+	}
+	c := ShareVector{X: field.New(1), Values: []field.Element{field.One, field.One}}
+	if _, err := AggregateShareVectors([]ShareVector{a, c}); !errors.Is(err, field.ErrLenMismatch) {
+		t.Fatalf("mixed widths: %v", err)
+	}
+}
+
+func TestNegativeDegreeIsAnError(t *testing.T) {
+	rng := testRNG(37)
+	points := PublicPoints(4)
+	vecs, err := SplitVec(randomSecrets(rng, 2), 1, points, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, degree := range []int{-1, -2} {
+		if _, err := ReconstructVec(vecs, degree); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("ReconstructVec degree=%d: %v", degree, err)
+		}
+		shares := []Share{{X: vecs[0].X, Value: vecs[0].Values[0]}}
+		if _, err := Reconstruct(shares, degree); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("Reconstruct degree=%d: %v", degree, err)
+		}
+	}
+}

@@ -45,3 +45,70 @@ func BenchmarkAggregateShares(b *testing.B) {
 		}
 	}
 }
+
+// Vector-path benchmarks: sharing and reconstructing a whole reading vector
+// vs. looping the scalar pipeline per coordinate.
+
+func BenchmarkSplitVecVsScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	points := PublicPoints(16)
+	const width, degree = 32, 5
+	secrets := make([]field.Element, width)
+	for i := range secrets {
+		secrets[i] = field.New(rng.Uint64())
+	}
+	b.Run("scalar-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range secrets {
+				if _, err := Split(s, degree, points, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SplitVec(secrets, degree, points, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkReconstructVecVsScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	points := PublicPoints(16)
+	const width, degree = 32, 5
+	secrets := make([]field.Element, width)
+	for i := range secrets {
+		secrets[i] = field.New(rng.Uint64())
+	}
+	vecs, err := SplitVec(secrets, degree, points, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Scalar view of the same shares for the baseline.
+	perCoord := make([][]Share, width)
+	for k := 0; k < width; k++ {
+		perCoord[k] = make([]Share, len(points))
+		for j, v := range vecs {
+			perCoord[k][j] = Share{X: v.X, Value: v.Values[k]}
+		}
+	}
+	b.Run("scalar-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < width; k++ {
+				if _, err := Reconstruct(perCoord[k], degree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ReconstructVec(vecs, degree); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

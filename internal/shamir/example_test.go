@@ -1,0 +1,81 @@
+package shamir_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iotmpc/internal/field"
+	"iotmpc/internal/shamir"
+)
+
+// Share a secret toward five public points and reconstruct it from any
+// threshold-sized subset — the scalar core of the protocol.
+func ExampleSplit() {
+	rng := rand.New(rand.NewSource(1)) // deterministic for the example; use crypto/rand in production
+	points := shamir.PublicPoints(5)
+	secret := field.New(1234)
+
+	shares, err := shamir.Split(secret, 2, points, rng)
+	if err != nil {
+		panic(err)
+	}
+	// Any degree+1 = 3 shares recover the secret.
+	recovered, err := shamir.Reconstruct([]shamir.Share{shares[4], shares[0], shares[2]}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(recovered)
+	// Output: 1234
+}
+
+// Share a whole vector of readings at once and reconstruct it through one
+// cached Lagrange basis — the batched hot path.
+func ExampleSplitVec() {
+	rng := rand.New(rand.NewSource(2))
+	points := shamir.PublicPoints(4)
+	readings := []field.Element{field.New(21), field.New(40), field.New(998)}
+
+	vecs, err := shamir.SplitVec(readings, 1, points, rng)
+	if err != nil {
+		panic(err)
+	}
+	recovered, err := shamir.ReconstructVec(vecs[:2], 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(recovered)
+	// Output: [21 40 998]
+}
+
+// Element-wise sums of share vectors are shares of the summed readings, so a
+// destination aggregates locally without ever seeing an individual vector.
+func ExampleAggregateShareVectors() {
+	rng := rand.New(rand.NewSource(3))
+	points := shamir.PublicPoints(4)
+
+	nodeA := []field.Element{field.New(10), field.New(1)}
+	nodeB := []field.Element{field.New(20), field.New(2)}
+	sharesA, err := shamir.SplitVec(nodeA, 1, points, rng)
+	if err != nil {
+		panic(err)
+	}
+	sharesB, err := shamir.SplitVec(nodeB, 1, points, rng)
+	if err != nil {
+		panic(err)
+	}
+
+	sums := make([]shamir.ShareVector, len(points))
+	for j := range points {
+		agg, err := shamir.AggregateShareVectors([]shamir.ShareVector{sharesA[j], sharesB[j]})
+		if err != nil {
+			panic(err)
+		}
+		sums[j] = agg
+	}
+	aggregate, err := shamir.ReconstructVec(sums[1:3], 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(aggregate)
+	// Output: [30 3]
+}

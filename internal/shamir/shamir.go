@@ -90,16 +90,30 @@ func Split(secret field.Element, degree int, points []field.Element, rng io.Read
 // Reconstruct recovers the secret from at least threshold = degree+1 shares.
 // Extra shares are allowed (they are simply consistent redundancy as long as
 // they lie on the same polynomial; only the first threshold shares are used).
+//
+// Reconstruction goes through the process-wide Lagrange coefficient cache:
+// every node in a round — and every round of a sweep — interpolates over the
+// same few public-point subsets, so after the first reconstruction the cost
+// per call drops to one dot product.
 func Reconstruct(shares []Share, degree int) (field.Element, error) {
+	if degree < 0 {
+		return 0, fmt.Errorf("%w: negative degree %d", ErrBadParams, degree)
+	}
 	need := degree + 1
 	if len(shares) < need {
 		return 0, fmt.Errorf("%w: have %d, need %d", ErrThreshold, len(shares), need)
 	}
-	points := make([]field.Point, need)
+	xs := make([]field.Element, need)
+	ys := make([]field.Element, need)
 	for i := 0; i < need; i++ {
-		points[i] = field.Point{X: shares[i].X, Y: shares[i].Value}
+		xs[i] = shares[i].X
+		ys[i] = shares[i].Value
 	}
-	secret, err := field.InterpolateAtZero(points)
+	coeffs, err := field.CachedCoefficientsAtZero(xs)
+	if err != nil {
+		return 0, fmt.Errorf("interpolate: %w", err)
+	}
+	secret, err := field.Dot(coeffs, ys)
 	if err != nil {
 		return 0, fmt.Errorf("interpolate: %w", err)
 	}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(0) … fn(n-1) across a pool of worker goroutines and
+// waits for all of them. workers <= 0 selects GOMAXPROCS; workers = 1 is
+// plain sequential execution (useful for determinism baselines and
+// debugging). The first failure stops the dispatch of not-yet-started
+// indices (in-flight iterations finish), so a sweep that dies at scenario 0
+// does not burn hours computing the rest. The error returned is the one
+// from the lowest failing index that ran; because indices are dispatched in
+// increasing order, that is always the lowest failing index overall, so the
+// reported failure does not depend on goroutine scheduling.
+//
+// ParallelFor imposes no ordering between iterations — callers get
+// determinism by making each iteration self-contained (own RNG streams, own
+// engine/ledger, results written to a caller-owned slot at its index), which
+// is exactly how the scenario runner uses it.
+func ParallelFor(n, workers int, fn func(i int) error) error {
+	if n < 0 {
+		return fmt.Errorf("sim: negative iteration count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	indices := make(chan int)
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
