@@ -11,6 +11,8 @@
 //	experiments -panel fig1c -csv > dcube.csv
 //	experiments -panel matrix -nodes 15,25,40 -loss 0.0,0.2,0.4 -workers 8
 //	experiments -panel matrix -nodes 20 -degrees 4,6,9 -csv > matrix.csv
+//	experiments -panel matrix -nodes 20 -phy logdist,unitdisk         # backend axis
+//	experiments -panel matrix -nodes 10 -phy trace:testbed10 -loss 0.0
 package main
 
 import (
@@ -43,20 +45,22 @@ func run(args []string) error {
 		nodes   = fs.String("nodes", "15,25,40", "matrix axis: comma-separated network sizes")
 		degrees = fs.String("degrees", "0", "matrix axis: polynomial degrees (0: n/3)")
 		loss    = fs.String("loss", "0.0,0.2,0.4", "matrix axis: interference burst probabilities")
+		phys    = fs.String("phy", "logdist",
+			"matrix axis: radio backends (logdist, unitdisk[:R[:G]], trace:<name-or-file>)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *panel == "matrix" {
-		return runMatrix(*nodes, *degrees, *loss, *iters, *seed, *workers, *csv)
+		return runMatrix(*nodes, *degrees, *loss, *phys, *iters, *seed, *workers, *csv)
 	}
 	// The matrix-only flags do nothing for the fixed paper panels; reject
 	// them rather than let a user believe they took effect.
 	var misused []string
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "workers", "nodes", "degrees", "loss":
+		case "workers", "nodes", "degrees", "loss", "phy":
 			misused = append(misused, "-"+f.Name)
 		}
 	})
@@ -151,7 +155,7 @@ func run(args []string) error {
 
 // runMatrix parses the axis flags, fans the scenario matrix across the
 // worker pool, and renders the result.
-func runMatrix(nodes, degrees, loss string, iters int, seed int64, workers int, csv bool) error {
+func runMatrix(nodes, degrees, loss, phys string, iters int, seed int64, workers int, csv bool) error {
 	nodeCounts, err := parseInts(nodes)
 	if err != nil {
 		return fmt.Errorf("-nodes: %w", err)
@@ -164,7 +168,9 @@ func runMatrix(nodes, degrees, loss string, iters int, seed int64, workers int, 
 	if err != nil {
 		return fmt.Errorf("-loss: %w", err)
 	}
+	backends := parseList(phys)
 	m := experiment.Matrix{
+		Backends:   backends,
 		NodeCounts: nodeCounts,
 		Degrees:    degreeList,
 		LossRates:  lossRates,
@@ -181,6 +187,17 @@ func runMatrix(nodes, degrees, loss string, iters int, seed int64, workers int, 
 	}
 	fmt.Println(experiment.MatrixTable(results))
 	return nil
+}
+
+func parseList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseInts(s string) ([]int, error) {

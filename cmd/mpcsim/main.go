@@ -7,6 +7,8 @@
 //	mpcsim -testbed dcube -protocol s3 -sources 12 -seed 7
 //	mpcsim -testbed grid -protocol s4 -degree 4 -ntx 4
 //	mpcsim -testbed dcube -iters 2000 -workers 0    # fan trials over all cores
+//	mpcsim -testbed grid -phy unitdisk:40           # idealized radio backend
+//	mpcsim -testbed line -phy trace:testbed10       # replay a recorded 10-node PRR trace
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"iotmpc/internal/experiment"
 	"iotmpc/internal/hepda"
 	"iotmpc/internal/metrics"
+	"iotmpc/internal/phy"
 	"iotmpc/internal/sim"
 	"iotmpc/internal/topology"
 	"iotmpc/internal/trace"
@@ -44,8 +47,10 @@ func run(args []string) error {
 		iters       = fs.Int("iters", 20, "Monte-Carlo iterations")
 		workers     = fs.Int("workers", 1, "iteration worker goroutines (0: GOMAXPROCS)")
 		seed        = fs.Int64("seed", 1, "randomness seed")
-		verbose     = fs.Bool("v", false, "print per-iteration results")
-		dumpTrace   = fs.Bool("trace", false, "print the first iteration's event trace as JSON")
+		phySpec     = fs.String("phy", "logdist",
+			"radio backend: logdist, unitdisk[:R[:G]], or trace:<name-or-file>")
+		verbose   = fs.Bool("v", false, "print per-iteration results")
+		dumpTrace = fs.Bool("trace", false, "print the first iteration's event trace as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +63,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	backend, err := experiment.ParseBackend(*phySpec)
+	if err != nil {
+		return fmt.Errorf("-phy: %w", err)
+	}
 	n := testbed.NumNodes()
 	srcCount := *sources
 	if srcCount == 0 {
@@ -69,7 +78,7 @@ func run(args []string) error {
 	}
 
 	if strings.EqualFold(*protoName, "he") {
-		return runHE(testbed, srcs, *iters, *seed, *verbose)
+		return runHE(testbed, backend, srcs, *iters, *seed, *verbose)
 	}
 	proto, err := pickProtocol(*protoName)
 	if err != nil {
@@ -78,6 +87,7 @@ func run(args []string) error {
 
 	cfg := core.Config{
 		Topology:    testbed,
+		Backend:     backend,
 		Protocol:    proto,
 		Sources:     srcs,
 		Degree:      *degree,
@@ -171,9 +181,10 @@ func run(args []string) error {
 }
 
 // runHE executes the Paillier baseline instead of an SSS variant.
-func runHE(testbed topology.Topology, sources []int, iters int, seed int64, verbose bool) error {
+func runHE(testbed topology.Topology, backend phy.Factory, sources []int, iters int, seed int64, verbose bool) error {
 	cfg := hepda.Config{
 		Topology:    testbed,
+		Backend:     backend,
 		Sources:     sources,
 		ChannelSeed: seed,
 	}

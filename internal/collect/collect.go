@@ -40,12 +40,12 @@ type Tree struct {
 // BuildTree constructs a shortest-path tree over links with PRR >= threshold,
 // breaking ties by link quality (each node picks the best-PRR parent among
 // minimal-depth neighbors).
-func BuildTree(ch *phy.Channel, sink int, threshold float64) (*Tree, error) {
+func BuildTree(ch phy.Radio, sink int, threshold float64) (*Tree, error) {
 	n := ch.NumNodes()
 	if sink < 0 || sink >= n {
 		return nil, fmt.Errorf("%w: sink %d", ErrBadConfig, sink)
 	}
-	dist, err := ch.HopDistances(sink, threshold)
+	dist, err := phy.HopDistances(ch, sink, threshold)
 	if err != nil {
 		return nil, err
 	}
@@ -83,8 +83,8 @@ func BuildTree(ch *phy.Channel, sink int, threshold float64) (*Tree, error) {
 
 // Config parameterizes one convergecast round.
 type Config struct {
-	// Channel is the radio environment.
-	Channel *phy.Channel
+	// Channel is the radio backend (any phy.Radio implementation).
+	Channel phy.Radio
 	// Tree is the routing tree (BuildTree).
 	Tree *Tree
 	// MessageBytes is the size of each node's upward message (e.g. one

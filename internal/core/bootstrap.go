@@ -24,8 +24,8 @@ import (
 //     public-point sums, and a sum is only meaningful if it aggregates the
 //     shares of every source.
 type Bootstrap struct {
-	// Channel is the radio environment probes ran on; rounds reuse it.
-	Channel *phy.Channel
+	// Channel is the radio backend probes ran on; rounds reuse it.
+	Channel phy.Radio
 	// NTXFull is the derived full-coverage NTX used by S3.
 	NTXFull int
 	// Dests is S4's common destination set, most reliable first.
@@ -54,11 +54,11 @@ func RunBootstrap(cfg Config) (*Bootstrap, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := cfg.Topology.Channel(cfg.PHY, cfg.ChannelSeed)
+	ch, err := cfg.buildRadio()
 	if err != nil {
 		return nil, err
 	}
-	diam, connected, err := ch.Diameter(0.5)
+	diam, connected, err := phy.Diameter(ch, 0.5)
 	if err != nil {
 		return nil, err
 	}

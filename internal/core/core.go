@@ -70,6 +70,12 @@ type Config struct {
 	Topology topology.Topology
 	// PHY parameterizes the radio model; zero value selects DefaultParams.
 	PHY phy.Params
+	// Backend builds the radio model over the topology; nil selects the
+	// log-distance + shadowing channel (phy.LogDistanceFactory) the paper
+	// evaluates under. Alternatives: phy.UnitDiskFactory for idealized
+	// in-radius reception, trace.Factory for replaying a recorded per-link
+	// PRR matrix.
+	Backend phy.Factory
 	// Protocol selects S3 or S4.
 	Protocol Protocol
 	// Sources lists the node indices contributing secrets. The paper sweeps
@@ -191,6 +197,15 @@ func (c Config) normalized() (Config, error) {
 // keyStore commissions the network's key material.
 func (c Config) keyStore() *seckey.Store {
 	return seckey.NewStore(seckey.MasterFromSeed(c.MasterSeed))
+}
+
+// buildRadio constructs the configured radio backend over the topology.
+func (c Config) buildRadio() (phy.Radio, error) {
+	r, err := phy.Build(c.Backend, c.PHY, c.Topology.Positions, c.ChannelSeed)
+	if err != nil {
+		return nil, fmt.Errorf("core: radio backend for topology %q: %w", c.Topology.Name, err)
+	}
+	return r, nil
 }
 
 // Wire format sizes (bytes) for chain sub-slot payloads: a protocol header

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"iotmpc/internal/phy"
+	"iotmpc/internal/trace"
+)
+
+// Backend specs name the radio model a scenario runs on, as compact strings
+// so they serialize into Scenario JSON and parse from CLI flags
+// (-phy logdist,unitdisk,trace:<file>):
+//
+//	logdist                  the log-distance + shadowing channel (default)
+//	unitdisk                 idealized disk, radius derived from the PHY
+//	                         params (phy.UnitDiskRadius)
+//	unitdisk:R               explicit radius R in meters
+//	unitdisk:R:G             radius R with a gray zone of width G
+//	trace:NAME               replay a bundled link trace (trace.Bundled)
+//	trace:PATH.csv|.json     replay a link trace loaded from disk
+//
+// For unitdisk, R may be 0 to keep the derived radius while setting G.
+
+// DefaultBackend is the backend spec selected when a scenario leaves the
+// field empty: the paper's statistical channel.
+const DefaultBackend = "logdist"
+
+// ParseBackend resolves a backend spec to a radio factory. A nil factory
+// (for the default log-distance spec) tells core to use its own default.
+func ParseBackend(spec string) (phy.Factory, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "", DefaultBackend:
+		if arg != "" {
+			return nil, fmt.Errorf("%w: backend %q takes no argument", ErrBadSpec, spec)
+		}
+		return nil, nil
+	case "unitdisk":
+		radius, gray := 0.0, 0.0
+		if arg != "" {
+			rs, gs, hasGray := strings.Cut(arg, ":")
+			var err error
+			if radius, err = strconv.ParseFloat(rs, 64); err != nil {
+				return nil, fmt.Errorf("%w: backend %q: radius: %v", ErrBadSpec, spec, err)
+			}
+			if hasGray {
+				if gray, err = strconv.ParseFloat(gs, 64); err != nil {
+					return nil, fmt.Errorf("%w: backend %q: gray width: %v", ErrBadSpec, spec, err)
+				}
+			}
+		}
+		// Only R = 0 means "derive from the params"; a negative or NaN value
+		// is a typo that must not silently select the derived radius. Gray
+		// widths are checked here too so bad specs fail at parse time, not
+		// when the first scenario builds its backend.
+		if radius < 0 || math.IsNaN(radius) {
+			return nil, fmt.Errorf("%w: backend %q: radius %v (0 derives from params)",
+				ErrBadSpec, spec, radius)
+		}
+		if gray < 0 || math.IsNaN(gray) {
+			return nil, fmt.Errorf("%w: backend %q: gray width %v", ErrBadSpec, spec, gray)
+		}
+		return phy.UnitDiskFactory(radius, gray), nil
+	case "trace":
+		if arg == "" {
+			return nil, fmt.Errorf("%w: backend %q: want trace:<name-or-path>", ErrBadSpec, spec)
+		}
+		// Anything that looks like a file reference loads from disk; bare
+		// names resolve against the bundled set, so a typo'd bundled name
+		// reports the available traces instead of a file-format error.
+		var lt *trace.LinkTrace
+		var err error
+		if ext := strings.ToLower(filepath.Ext(arg)); ext == ".csv" || ext == ".json" ||
+			strings.ContainsAny(arg, `/\`) {
+			lt, err = trace.Load(arg)
+		} else {
+			lt, err = trace.Bundled(arg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: backend %q: %v", ErrBadSpec, spec, err)
+		}
+		return trace.Factory(lt), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %q (want logdist, unitdisk[:R[:G]], or trace:<file>)",
+			ErrBadSpec, spec)
+	}
+}

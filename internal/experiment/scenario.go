@@ -37,11 +37,22 @@ func officeDeployment(n int, seed int64) (topology.Topology, error) {
 	return topology.RandomGeometric(n, w, h, seed)
 }
 
+// DefaultLossRate is the loss axis default when Matrix.LossRates is nil: a
+// moderate per-phase ambient interference burst probability representative
+// of an office 2.4 GHz environment (both FlockLab and D-Cube document WiFi/
+// Bluetooth bursts of this order). It is the loss axis's own documented
+// default — scenarios sweep it independently of whatever the PHY model's
+// parameter defaults happen to be.
+const DefaultLossRate = 0.2
+
 // Scenario is one fully-specified cell of a sweep matrix.
 type Scenario struct {
 	// Index is the scenario's position in the expanded matrix; results are
 	// reported in this order regardless of execution interleaving.
 	Index int `json:"index"`
+	// Backend is the radio-model spec (see ParseBackend); "" selects
+	// DefaultBackend, the log-distance channel.
+	Backend string `json:"backend,omitempty"`
 	// Nodes is the deployment size (random-geometric at officeDensity).
 	Nodes int `json:"nodes"`
 	// Degree is the polynomial degree k; 0 selects the paper's ⌊n/3⌋.
@@ -66,6 +77,9 @@ type Scenario struct {
 // cross product. Nil axes select defaults, so the zero value plus NodeCounts
 // and Iterations is a runnable spec.
 type Matrix struct {
+	// Backends is the radio-model axis (specs per ParseBackend); nil selects
+	// {DefaultBackend}.
+	Backends []string
 	// NodeCounts is the network-size axis (each >= 6). Required.
 	NodeCounts []int
 	// Degrees is the threshold axis; nil selects {0} (= ⌊n/3⌋).
@@ -85,11 +99,13 @@ type Matrix struct {
 }
 
 // Scenarios expands the matrix into the ordered scenario list. Expansion
-// order is nodes → degree → loss rate → protocol (protocol innermost, so
-// paired protocol comparisons sit adjacent in reports). Each scenario's seed
-// is sim.DeriveSeed(matrix seed, index): reordering or extending an axis
-// re-seeds affected scenarios, but a given (matrix, index) pair is stable
-// across runs and worker counts.
+// order is backend → nodes → degree → loss rate → protocol (protocol
+// innermost, so paired protocol comparisons sit adjacent in reports; backend
+// outermost, so a single-backend matrix keeps the indices — and therefore
+// the derived seeds — it had before the backend axis existed). Each
+// scenario's seed is sim.DeriveSeed(matrix seed, index): reordering or
+// extending an axis re-seeds affected scenarios, but a given (matrix, index)
+// pair is stable across runs and worker counts.
 func (m Matrix) Scenarios() ([]Scenario, error) {
 	if len(m.NodeCounts) == 0 {
 		return nil, fmt.Errorf("%w: no node counts", ErrBadSpec)
@@ -97,13 +113,17 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 	if m.Iterations <= 0 {
 		return nil, fmt.Errorf("%w: iterations %d", ErrBadSpec, m.Iterations)
 	}
+	backends := m.Backends
+	if len(backends) == 0 {
+		backends = []string{DefaultBackend}
+	}
 	degrees := m.Degrees
 	if len(degrees) == 0 {
 		degrees = []int{0}
 	}
 	lossRates := m.LossRates
 	if len(lossRates) == 0 {
-		lossRates = []float64{phy.DefaultParams().InterferenceBurstProb}
+		lossRates = []float64{DefaultLossRate}
 	}
 	protocols := m.Protocols
 	if len(protocols) == 0 {
@@ -119,24 +139,44 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 			return nil, fmt.Errorf("%w: loss rate %f outside [0,1)", ErrBadSpec, lr)
 		}
 	}
+	for _, b := range backends {
+		// Catch typos, unreadable trace files, and backend/axis conflicts
+		// (e.g. a trace whose fixed node count a NodeCounts entry cannot
+		// satisfy) at expansion time, before any simulation work is spent.
+		factory, err := ParseBackend(b)
+		if err != nil {
+			return nil, err
+		}
+		if factory == nil {
+			continue
+		}
+		for _, n := range m.NodeCounts {
+			if _, err := factory(phy.DefaultParams(), make([]phy.Position, n), 0); err != nil {
+				return nil, fmt.Errorf("%w: backend %q with %d nodes: %v", ErrBadSpec, b, n, err)
+			}
+		}
+	}
 
-	out := make([]Scenario, 0, len(m.NodeCounts)*len(degrees)*len(lossRates)*len(protocols))
-	for _, nodes := range m.NodeCounts {
-		for _, degree := range degrees {
-			for _, lr := range lossRates {
-				for _, proto := range protocols {
-					idx := len(out)
-					out = append(out, Scenario{
-						Index:      idx,
-						Nodes:      nodes,
-						Degree:     degree,
-						LossRate:   lr,
-						Protocol:   proto,
-						NTXSharing: m.NTXSharing,
-						DestSlack:  m.DestSlack,
-						Iterations: m.Iterations,
-						Seed:       sim.DeriveSeed(m.Seed, uint64(idx)),
-					})
+	out := make([]Scenario, 0, len(backends)*len(m.NodeCounts)*len(degrees)*len(lossRates)*len(protocols))
+	for _, backend := range backends {
+		for _, nodes := range m.NodeCounts {
+			for _, degree := range degrees {
+				for _, lr := range lossRates {
+					for _, proto := range protocols {
+						idx := len(out)
+						out = append(out, Scenario{
+							Index:      idx,
+							Backend:    backend,
+							Nodes:      nodes,
+							Degree:     degree,
+							LossRate:   lr,
+							Protocol:   proto,
+							NTXSharing: m.NTXSharing,
+							DestSlack:  m.DestSlack,
+							Iterations: m.Iterations,
+							Seed:       sim.DeriveSeed(m.Seed, uint64(idx)),
+						})
+					}
 				}
 			}
 		}
@@ -161,6 +201,17 @@ type ScenarioResult struct {
 // bootstrap once, then run the Monte-Carlo trials. All randomness descends
 // from Scenario.Seed, so repeated calls are bit-identical.
 func RunScenario(sc Scenario) (ScenarioResult, error) {
+	backend, err := ParseBackend(sc.Backend)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	return runScenario(sc, backend)
+}
+
+// runScenario is RunScenario with the backend factory already resolved, so
+// matrix sweeps resolve each distinct spec (and parse each trace file) once
+// instead of once per cell.
+func runScenario(sc Scenario, backend phy.Factory) (ScenarioResult, error) {
 	if sc.Nodes < 6 {
 		return ScenarioResult{}, fmt.Errorf("%w: %d nodes", ErrBadSpec, sc.Nodes)
 	}
@@ -180,6 +231,7 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 	cfg := core.Config{
 		Topology:    testbed,
 		PHY:         params,
+		Backend:     backend,
 		Protocol:    sc.Protocol,
 		Sources:     sources,
 		Degree:      sc.Degree,
@@ -234,9 +286,21 @@ func RunMatrix(m Matrix, workers int) ([]ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve each distinct backend spec once (trace files parse once per
+	// sweep, not once per cell); the map is read-only once workers start.
+	factories := make(map[string]phy.Factory)
+	for _, sc := range scenarios {
+		if _, ok := factories[sc.Backend]; !ok {
+			f, err := ParseBackend(sc.Backend)
+			if err != nil {
+				return nil, err
+			}
+			factories[sc.Backend] = f
+		}
+	}
 	results := make([]ScenarioResult, len(scenarios))
 	err = sim.ParallelFor(len(scenarios), workers, func(i int) error {
-		res, err := RunScenario(scenarios[i])
+		res, err := runScenario(scenarios[i], factories[scenarios[i].Backend])
 		if err != nil {
 			return err
 		}
@@ -249,16 +313,24 @@ func RunMatrix(m Matrix, workers int) ([]ScenarioResult, error) {
 	return results, nil
 }
 
+// backendLabel names a scenario's radio backend in reports.
+func backendLabel(sc Scenario) string {
+	if sc.Backend == "" {
+		return DefaultBackend
+	}
+	return sc.Backend
+}
+
 // MatrixTable renders a sweep as an aligned text table.
 func MatrixTable(results []ScenarioResult) string {
 	var b strings.Builder
-	b.WriteString("Scenario matrix — nodes × degree × loss × protocol\n")
-	fmt.Fprintf(&b, "%-5s %-6s %-7s %-6s %-6s %14s %14s %10s %7s\n",
-		"idx", "nodes", "degree", "loss", "proto", "latency (ms)", "radio-on (ms)", "success", "failed")
+	b.WriteString("Scenario matrix — backend × nodes × degree × loss × protocol\n")
+	fmt.Fprintf(&b, "%-5s %-10s %-6s %-7s %-6s %-6s %14s %14s %10s %7s\n",
+		"idx", "phy", "nodes", "degree", "loss", "proto", "latency (ms)", "radio-on (ms)", "success", "failed")
 	for _, r := range results {
 		sc := r.Scenario
-		fmt.Fprintf(&b, "%-5d %-6d %-7d %-6.2f %-6s %14.1f %14.1f %9.1f%% %7d\n",
-			sc.Index, sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
+		fmt.Fprintf(&b, "%-5d %-10s %-6d %-7d %-6.2f %-6s %14.1f %14.1f %9.1f%% %7d\n",
+			sc.Index, backendLabel(sc), sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
 			r.LatencyMS.Mean, r.RadioOnMS.Mean, r.SuccessRate*100, r.FailedRounds)
 	}
 	return b.String()
@@ -267,11 +339,11 @@ func MatrixTable(results []ScenarioResult) string {
 // MatrixCSV renders a sweep as CSV, one line per scenario.
 func MatrixCSV(results []ScenarioResult) string {
 	var b strings.Builder
-	b.WriteString("index,nodes,degree,loss_rate,protocol,latency_ms_mean,latency_ms_ci95,radio_ms_mean,radio_ms_ci95,success_rate,failed_rounds\n")
+	b.WriteString("index,backend,nodes,degree,loss_rate,protocol,latency_ms_mean,latency_ms_ci95,radio_ms_mean,radio_ms_ci95,success_rate,failed_rounds\n")
 	for _, r := range results {
 		sc := r.Scenario
-		fmt.Fprintf(&b, "%d,%d,%d,%.3f,%s,%.3f,%.3f,%.3f,%.3f,%.4f,%d\n",
-			sc.Index, sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
+		fmt.Fprintf(&b, "%d,%s,%d,%d,%.3f,%s,%.3f,%.3f,%.3f,%.3f,%.4f,%d\n",
+			sc.Index, backendLabel(sc), sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
 			r.LatencyMS.Mean, r.LatencyMS.CI95,
 			r.RadioOnMS.Mean, r.RadioOnMS.CI95,
 			r.SuccessRate, r.FailedRounds)

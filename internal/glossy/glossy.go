@@ -30,8 +30,8 @@ var (
 
 // Config parameterizes one flood.
 type Config struct {
-	// Channel is the radio environment.
-	Channel *phy.Channel
+	// Channel is the radio backend (any phy.Radio implementation).
+	Channel phy.Radio
 	// Initiator is the flooding node.
 	Initiator int
 	// NTX is the per-node retransmission budget.

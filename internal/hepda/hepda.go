@@ -73,6 +73,9 @@ type Config struct {
 	Topology topology.Topology
 	// PHY parameterizes the radio; zero value selects DefaultParams.
 	PHY phy.Params
+	// Backend builds the radio model over the topology; nil selects the
+	// log-distance channel (phy.LogDistanceFactory).
+	Backend phy.Factory
 	// Sources lists contributing nodes.
 	Sources []int
 	// Sink is the key-holding collector (default node 0).
@@ -172,9 +175,9 @@ func RunRound(cfg Config, trial uint64) (*RoundResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := cfg.Topology.Channel(cfg.PHY, cfg.ChannelSeed)
+	ch, err := phy.Build(cfg.Backend, cfg.PHY, cfg.Topology.Positions, cfg.ChannelSeed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("radio backend for topology %q: %w", cfg.Topology.Name, err)
 	}
 	n := ch.NumNodes()
 

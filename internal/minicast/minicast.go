@@ -50,8 +50,8 @@ type Item struct {
 
 // Config parameterizes one MiniCast dissemination round.
 type Config struct {
-	// Channel is the radio environment.
-	Channel *phy.Channel
+	// Channel is the radio backend (any phy.Radio implementation).
+	Channel phy.Radio
 	// Initiator starts the chain and anchors the TDMA level schedule.
 	Initiator int
 	// NTX is the number of chain waves.
@@ -382,8 +382,8 @@ func creditPhase(ledger *sim.RadioLedger, cfg Config, levelOf []int, phase int,
 
 // hopLevels partitions nodes into TDMA levels by hop distance from the
 // initiator. Unreachable nodes get level -1 and never transmit.
-func hopLevels(ch *phy.Channel, initiator int, threshold float64) ([]int, [][]int, error) {
-	dist, err := ch.HopDistances(initiator, threshold)
+func hopLevels(ch phy.Radio, initiator int, threshold float64) ([]int, [][]int, error) {
+	dist, err := phy.HopDistances(ch, initiator, threshold)
 	if err != nil {
 		return nil, nil, err
 	}

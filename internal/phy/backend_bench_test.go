@@ -1,0 +1,91 @@
+package phy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/phy"
+	"iotmpc/internal/trace"
+)
+
+// Backend dispatch benchmarks: ReceiveConcurrentFast is the chain
+// simulation's hot path (millions of draws per round), and since the Radio
+// refactor every call goes through the interface. These benches track the
+// per-draw cost of each backend — and therefore the dispatch overhead —
+// side by side. CI's bench smoke records them in BENCH_phy.json.
+
+func benchPositions(n int) []phy.Position {
+	rng := rand.New(rand.NewSource(1))
+	pos := make([]phy.Position, n)
+	for i := range pos {
+		pos[i] = phy.Position{X: rng.Float64() * 100, Y: rng.Float64() * 80}
+	}
+	return pos
+}
+
+func benchTrace(n int) *trace.LinkTrace {
+	tr := &trace.LinkTrace{Name: "bench", Nodes: n, PRR: make([][]float64, n)}
+	rng := rand.New(rand.NewSource(2))
+	for i := range tr.PRR {
+		tr.PRR[i] = make([]float64, n)
+		for j := range tr.PRR[i] {
+			if i != j {
+				tr.PRR[i][j] = rng.Float64()
+			}
+		}
+	}
+	return tr
+}
+
+func BenchmarkBackendReceiveConcurrentFast(b *testing.B) {
+	const n = 24
+	pos := benchPositions(n)
+	logdist, err := phy.NewLogDistance(phy.DefaultParams(), pos, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unitdisk, err := phy.NewUnitDisk(phy.DefaultParams(), pos, 40, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay, err := trace.NewChannel(phy.DefaultParams(), benchTrace(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	transmitters := []int{1, 2, 3, 4}
+	for _, bc := range []struct {
+		name  string
+		radio phy.Radio
+	}{
+		{"logdist", logdist},
+		{"unitdisk", unitdisk},
+		{"trace", replay},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.radio.ReceiveConcurrentFast(i%n, transmitters, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUnitDiskPRR isolates the pure geometry query of the idealized
+// backend (no RNG), the floor of what any backend dispatch can cost.
+func BenchmarkUnitDiskPRR(b *testing.B) {
+	const n = 24
+	unitdisk, err := phy.NewUnitDisk(phy.DefaultParams(), benchPositions(n), 40, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r phy.Radio = unitdisk
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.PRR(i%n, (i+1)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,21 +28,36 @@ var (
 	ErrNodeIndex = errors.New("phy: node index out of range")
 )
 
-// Channel is the static radio environment between a fixed set of nodes:
-// pairwise mean RSSI (path loss + frozen shadowing) and the derived packet
-// reception ratios. Per-packet randomness (fading, reception draws) is
-// injected by callers through an explicit *rand.Rand so trials are
-// reproducible.
-type Channel struct {
+// LogDistance is the statistical radio backend the paper's evaluation uses:
+// pairwise mean RSSI from log-distance path loss plus frozen shadowing, and
+// the derived packet reception ratios. Per-packet randomness (fading,
+// reception draws) is injected by callers through an explicit *rand.Rand so
+// trials are reproducible.
+type LogDistance struct {
 	params    Params
 	positions []Position
 	// rssi[i][j] is the mean received power at j when i transmits.
 	rssi [][]float64
 }
 
-// NewChannel builds the environment. seed freezes the shadowing realization;
-// two channels built with the same inputs are identical.
+// Channel is the historical name of the LogDistance backend; it predates the
+// Radio interface and remains as an alias because most construction sites
+// (topology.Topology.Channel, tests, examples) still speak in terms of "the
+// channel".
+type Channel = LogDistance
+
+var _ Radio = (*LogDistance)(nil)
+
+// NewChannel builds a LogDistance environment. seed freezes the shadowing
+// realization; two channels built with the same inputs are identical.
 func NewChannel(params Params, positions []Position, seed int64) (*Channel, error) {
+	return NewLogDistance(params, positions, seed)
+}
+
+// NewLogDistance builds the log-distance + shadowing environment. seed
+// freezes the shadowing realization; two backends built with the same inputs
+// are identical.
+func NewLogDistance(params Params, positions []Position, seed int64) (*LogDistance, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,90 +234,37 @@ func (c *Channel) ReceiveCapture(rx int, transmitters []int, rng *rand.Rand) (in
 }
 
 // Neighbors returns every node whose link PRR from node i meets the
-// threshold, in ascending index order. This is what bootstrapping uses to
-// learn "which neighbor is reachable".
+// threshold, in ascending index order (the package-level Neighbors over this
+// backend).
 func (c *Channel) Neighbors(i int, prrThreshold float64) ([]int, error) {
-	if err := c.checkIndex(i, i); err != nil {
-		return nil, err
-	}
-	var out []int
-	for j := 0; j < len(c.positions); j++ {
-		if j == i {
-			continue
-		}
-		prr, err := c.PRR(i, j)
-		if err != nil {
-			return nil, err
-		}
-		if prr >= prrThreshold {
-			out = append(out, j)
-		}
-	}
-	return out, nil
+	return Neighbors(c, i, prrThreshold)
 }
 
 // HopDistances returns the minimum hop count from src to every node over the
-// connectivity graph induced by links with PRR >= prrThreshold. Unreachable
-// nodes get -1. Used to derive network diameter and full-coverage NTX.
+// connectivity graph induced by links with PRR >= prrThreshold (the
+// package-level HopDistances over this backend).
 func (c *Channel) HopDistances(src int, prrThreshold float64) ([]int, error) {
-	if err := c.checkIndex(src, src); err != nil {
-		return nil, err
-	}
-	n := len(c.positions)
-	dist := make([]int, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for v := 0; v < n; v++ {
-			if v == u || dist[v] >= 0 {
-				continue
-			}
-			prr, err := c.PRR(u, v)
-			if err != nil {
-				return nil, err
-			}
-			if prr >= prrThreshold {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
-		}
-	}
-	return dist, nil
+	return HopDistances(c, src, prrThreshold)
 }
 
 // Diameter returns the maximum finite hop distance between any pair under
-// the PRR threshold, and whether the graph is connected.
+// the PRR threshold, and whether the graph is connected (the package-level
+// Diameter over this backend).
 func (c *Channel) Diameter(prrThreshold float64) (int, bool, error) {
-	n := len(c.positions)
-	diameter := 0
-	connected := true
-	for src := 0; src < n; src++ {
-		dist, err := c.HopDistances(src, prrThreshold)
-		if err != nil {
-			return 0, false, err
-		}
-		for _, d := range dist {
-			if d < 0 {
-				connected = false
-				continue
-			}
-			if d > diameter {
-				diameter = d
-			}
-		}
-	}
-	return diameter, connected, nil
+	return Diameter(c, prrThreshold)
 }
 
 func (c *Channel) checkIndex(a, b int) error {
-	n := len(c.positions)
+	return checkIndex(a, b, len(c.positions))
+}
+
+func checkIndex(a, b, n int) error {
 	if a < 0 || a >= n || b < 0 || b >= n {
-		return fmt.Errorf("%w: (%d,%d) with %d nodes", ErrNodeIndex, a, b, n)
+		return indexError(a, b, n)
 	}
 	return nil
+}
+
+func indexError(a, b, n int) error {
+	return fmt.Errorf("%w: (%d,%d) with %d nodes", ErrNodeIndex, a, b, n)
 }

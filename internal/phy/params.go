@@ -4,8 +4,12 @@
 //
 //   - frame airtime computation (the unit everything in a TDMA chain is
 //     measured in),
-//   - a log-distance path-loss link model with deterministic per-link
-//     shadowing and per-packet fading,
+//   - the Radio interface — the swappable radio backend every protocol
+//     layer runs on — with two implementations here: LogDistance (the
+//     log-distance path-loss link model with deterministic per-link
+//     shadowing and per-packet fading the paper evaluates under) and
+//     UnitDisk (idealized in-radius reception for exact property tests);
+//     internal/trace adds a third that replays recorded PRR matrices,
 //   - a reception model for concurrent transmissions (the constructive
 //     interference / capture effect that makes Glossy-style CT work),
 //   - radio current figures for converting radio-on time into charge.

@@ -1,0 +1,186 @@
+package phy
+
+import "math/rand"
+
+// Radio is the pluggable radio backend every protocol layer runs on. It
+// captures exactly what consumers use: the static link statistics (PRR,
+// mean RSSI), per-packet reception draws driven by an injected *rand.Rand
+// (so trials stay reproducible), and the PHY parameterization that fixes
+// frame airtimes and radio currents.
+//
+// Three backends ship with the repository:
+//
+//   - LogDistance (this package) — the statistical model the paper's
+//     evaluation uses (log-distance path loss, frozen shadowing, per-packet
+//     fading); NewChannel builds it.
+//   - UnitDisk (this package) — idealized reception inside a radius, zero
+//     outside, with an optional gray zone; deterministic where PRR is 0 or
+//     1, which is what exact protocol-invariant tests need.
+//   - trace.Channel (internal/trace) — replays a recorded per-link PRR
+//     matrix loaded from CSV/JSON (e.g. a testbed link-quality snapshot).
+//
+// Connectivity-graph queries (Neighbors, HopDistances, Diameter) are
+// package-level functions over any Radio, derived from PRR, so backends
+// only implement the link model.
+type Radio interface {
+	// NumNodes returns the number of nodes in the environment.
+	NumNodes() int
+	// Params returns the PHY parameterization (airtimes, currents, guard).
+	Params() Params
+	// MeanRSSI returns the average received power at rx for a transmission
+	// from tx, in dBm. Backends without a physical power model synthesize a
+	// value consistent with their PRR (it is informational: protocol code
+	// keys off PRR and reception draws).
+	MeanRSSI(tx, rx int) (float64, error)
+	// PRR returns the long-run packet reception ratio of the directed link
+	// tx→rx.
+	PRR(tx, rx int) (float64, error)
+	// ReceiveSingle draws one reception attempt for a lone transmission
+	// tx→rx.
+	ReceiveSingle(tx, rx int, rng *rand.Rand) (bool, error)
+	// ReceiveConcurrent draws one reception attempt at rx when every node in
+	// transmitters sends the SAME packet in the same synchronized slot (the
+	// Glossy/MiniCast constructive-interference situation).
+	ReceiveConcurrent(rx int, transmitters []int, rng *rand.Rand) (bool, error)
+	// ReceiveConcurrentFast is the hot-path variant of ReceiveConcurrent
+	// whose cost is independent of the transmitter count; the TDMA chain
+	// simulation draws millions of these per round.
+	ReceiveConcurrentFast(rx int, transmitters []int, rng *rand.Rand) (bool, error)
+	// ReceiveCapture draws a reception attempt at rx when the transmitters
+	// carry DIFFERENT packets (a collision); it returns the index into
+	// transmitters of the captured sender, or -1.
+	ReceiveCapture(rx int, transmitters []int, rng *rand.Rand) (int, error)
+}
+
+// Factory builds a Radio over node positions. It is the hook that makes the
+// backend a first-class scenario axis: protocol configurations carry a
+// Factory (nil selecting LogDistanceFactory), and the experiment layer maps
+// backend spec strings ("logdist", "unitdisk", "trace:<file>") to factories.
+// seed freezes any frozen randomness of the model (e.g. the shadowing
+// realization); backends without one ignore it.
+type Factory func(params Params, positions []Position, seed int64) (Radio, error)
+
+// LogDistanceFactory is the default Factory: the paper's log-distance +
+// shadowing statistical channel.
+func LogDistanceFactory(params Params, positions []Position, seed int64) (Radio, error) {
+	return NewLogDistance(params, positions, seed)
+}
+
+// Build constructs a Radio with the given factory, nil selecting
+// LogDistanceFactory. It is the single defaulting site every configuration
+// layer (core, hepda) shares.
+func Build(factory Factory, params Params, positions []Position, seed int64) (Radio, error) {
+	if factory == nil {
+		factory = LogDistanceFactory
+	}
+	return factory(params, positions, seed)
+}
+
+// Draw realizes a reception attempt at probability p. Certain outcomes
+// (p <= 0 or p >= 1) are decided without consuming randomness — the
+// backend-wide contract that keeps ideal (UnitDisk) and replayed
+// (trace.Channel) runs deterministic wherever their links are certain.
+func Draw(p float64, rng *rand.Rand) bool {
+	switch {
+	case p >= 1:
+		return true
+	case p <= 0:
+		return false
+	default:
+		return rng.Float64() < p
+	}
+}
+
+// IdealParams returns DefaultParams with every stochastic loss knob zeroed
+// (fading, CT beating, ambient interference bursts). Combined with the
+// UnitDisk backend this yields fully deterministic protocol executions —
+// the setting exact property tests run under.
+func IdealParams() Params {
+	p := DefaultParams()
+	p.FadingSigmaDB = 0
+	p.CTBeatingLoss = 0
+	p.InterferenceBurstProb = 0
+	return p
+}
+
+// Neighbors returns every node whose link PRR from node i meets the
+// threshold, in ascending index order. This is what bootstrapping uses to
+// learn "which neighbor is reachable".
+func Neighbors(r Radio, i int, prrThreshold float64) ([]int, error) {
+	n := r.NumNodes()
+	if i < 0 || i >= n {
+		return nil, indexError(i, i, n)
+	}
+	var out []int
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		prr, err := r.PRR(i, j)
+		if err != nil {
+			return nil, err
+		}
+		if prr >= prrThreshold {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// HopDistances returns the minimum hop count from src to every node over the
+// connectivity graph induced by links with PRR >= prrThreshold. Unreachable
+// nodes get -1. Used to derive network diameter and full-coverage NTX.
+func HopDistances(r Radio, src int, prrThreshold float64) ([]int, error) {
+	n := r.NumNodes()
+	if src < 0 || src >= n {
+		return nil, indexError(src, src, n)
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if v == u || dist[v] >= 0 {
+				continue
+			}
+			prr, err := r.PRR(u, v)
+			if err != nil {
+				return nil, err
+			}
+			if prr >= prrThreshold {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Diameter returns the maximum finite hop distance between any pair under
+// the PRR threshold, and whether the graph is connected.
+func Diameter(r Radio, prrThreshold float64) (int, bool, error) {
+	n := r.NumNodes()
+	diameter := 0
+	connected := true
+	for src := 0; src < n; src++ {
+		dist, err := HopDistances(r, src, prrThreshold)
+		if err != nil {
+			return 0, false, err
+		}
+		for _, d := range dist {
+			if d < 0 {
+				connected = false
+				continue
+			}
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	return diameter, connected, nil
+}

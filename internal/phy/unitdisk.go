@@ -1,0 +1,199 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// UnitDisk is the idealized radio backend: a transmission is received with
+// probability 1 inside the communication radius and 0 outside, with an
+// optional "gray zone" ring in which the reception probability ramps
+// linearly from 1 down to 0. With a zero-width gray zone every reception
+// draw is deterministic and consumes no randomness, which is what exact
+// protocol-invariant tests (flooding coverage, component isolation) assert
+// against; the gray zone restores a controlled amount of stochastic loss
+// when a test wants "almost ideal".
+//
+// UnitDisk intentionally has no fading, no constructive-interference gain
+// and no beating loss: concurrent same-packet transmissions succeed iff the
+// best incoming link would, and colliding different packets are never
+// captured unless exactly one transmitter is in range. Note that the
+// ambient-interference burst model (Params.InterferenceBurstProb) is drawn
+// by the protocol layers, not the backend — pass IdealParams (or zero the
+// field) to make UnitDisk executions fully deterministic.
+type UnitDisk struct {
+	params    Params
+	positions []Position
+	radius    float64
+	gray      float64
+}
+
+var _ Radio = (*UnitDisk)(nil)
+
+// NewUnitDisk builds the idealized environment. radius is the guaranteed
+// communication range in meters; grayWidth (>= 0) is the width of the
+// probabilistic ring beyond it.
+func NewUnitDisk(params Params, positions []Position, radius, grayWidth float64) (*UnitDisk, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(positions) == 0 {
+		return nil, ErrNoNodes
+	}
+	if radius <= 0 || math.IsNaN(radius) {
+		return nil, fmt.Errorf("%w: unit-disk radius %f", ErrBadParams, radius)
+	}
+	if grayWidth < 0 || math.IsNaN(grayWidth) {
+		return nil, fmt.Errorf("%w: gray-zone width %f", ErrBadParams, grayWidth)
+	}
+	pos := make([]Position, len(positions))
+	copy(pos, positions)
+	return &UnitDisk{params: params, positions: pos, radius: radius, gray: grayWidth}, nil
+}
+
+// UnitDiskRadius derives the natural disk radius for a parameterization: the
+// distance at which the log-distance model's mean RSSI crosses the 50%-PRR
+// midpoint. It makes unit-disk and log-distance runs of the same deployment
+// comparable: links the statistical model rates "good" are inside the disk.
+func UnitDiskRadius(params Params) float64 {
+	return math.Pow(10, (params.TxPowerDBm-params.RefLossDB-params.PRRMidpointDBm)/
+		(10*params.PathLossExponent))
+}
+
+// UnitDiskFactory returns a Factory building UnitDisk backends. radius <= 0
+// selects UnitDiskRadius(params); grayWidth < 0 is rejected at build time.
+// The seed is ignored — the model has no frozen randomness.
+func UnitDiskFactory(radius, grayWidth float64) Factory {
+	return func(params Params, positions []Position, _ int64) (Radio, error) {
+		r := radius
+		if r <= 0 {
+			r = UnitDiskRadius(params)
+		}
+		return NewUnitDisk(params, positions, r, grayWidth)
+	}
+}
+
+// NumNodes returns the number of nodes in the environment.
+func (u *UnitDisk) NumNodes() int { return len(u.positions) }
+
+// Params returns the PHY parameterization of the backend.
+func (u *UnitDisk) Params() Params { return u.params }
+
+// Radius returns the guaranteed communication range in meters.
+func (u *UnitDisk) Radius() float64 { return u.radius }
+
+// GrayWidth returns the width of the probabilistic ring beyond the radius.
+func (u *UnitDisk) GrayWidth() float64 { return u.gray }
+
+// MeanRSSI synthesizes a deterministic received power from the log-distance
+// path-loss law without shadowing — informational only; reception is
+// governed purely by the disk geometry.
+func (u *UnitDisk) MeanRSSI(tx, rx int) (float64, error) {
+	if err := checkIndex(tx, rx, len(u.positions)); err != nil {
+		return 0, err
+	}
+	if tx == rx {
+		return math.Inf(-1), nil
+	}
+	d := u.positions[tx].Distance(u.positions[rx])
+	if d < 0.1 {
+		d = 0.1
+	}
+	return u.params.TxPowerDBm - u.params.RefLossDB -
+		10*u.params.PathLossExponent*math.Log10(d), nil
+}
+
+// PRR returns 1 inside the radius, 0 beyond the gray zone, and the linear
+// ramp in between. A node never receives itself.
+func (u *UnitDisk) PRR(tx, rx int) (float64, error) {
+	if err := checkIndex(tx, rx, len(u.positions)); err != nil {
+		return 0, err
+	}
+	return u.prr(tx, rx), nil
+}
+
+func (u *UnitDisk) prr(tx, rx int) float64 {
+	if tx == rx {
+		return 0
+	}
+	d := u.positions[tx].Distance(u.positions[rx])
+	switch {
+	case d <= u.radius:
+		return 1
+	case u.gray > 0 && d < u.radius+u.gray:
+		return (u.radius + u.gray - d) / u.gray
+	default:
+		return 0
+	}
+}
+
+// ReceiveSingle draws one reception attempt for a lone transmission tx→rx.
+func (u *UnitDisk) ReceiveSingle(tx, rx int, rng *rand.Rand) (bool, error) {
+	if err := checkIndex(tx, rx, len(u.positions)); err != nil {
+		return false, err
+	}
+	return Draw(u.prr(tx, rx), rng), nil
+}
+
+// ReceiveConcurrent draws one reception attempt at rx for synchronized
+// same-packet transmitters: success iff the best incoming link succeeds
+// (idealized CT — concurrency never hurts, never boosts).
+func (u *UnitDisk) ReceiveConcurrent(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	return u.receiveBest(rx, transmitters, rng)
+}
+
+// ReceiveConcurrentFast is identical to ReceiveConcurrent: the ideal model
+// has no per-transmitter fading to shortcut.
+func (u *UnitDisk) ReceiveConcurrentFast(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	return u.receiveBest(rx, transmitters, rng)
+}
+
+func (u *UnitDisk) receiveBest(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	if len(transmitters) == 0 {
+		return false, nil
+	}
+	best := 0.0
+	for _, tx := range transmitters {
+		if err := checkIndex(tx, rx, len(u.positions)); err != nil {
+			return false, err
+		}
+		if tx == rx {
+			return false, nil // a transmitting node cannot receive in the same slot
+		}
+		if p := u.prr(tx, rx); p > best {
+			best = p
+		}
+	}
+	return Draw(best, rng), nil
+}
+
+// ReceiveCapture implements the idealized collision rule: a packet is
+// captured iff exactly one transmitter is within reception range (PRR > 0)
+// of rx and its link draw succeeds; two or more in-range transmitters of
+// different packets always destroy each other (equal idealized powers leave
+// no capture margin).
+func (u *UnitDisk) ReceiveCapture(rx int, transmitters []int, rng *rand.Rand) (int, error) {
+	if len(transmitters) == 0 {
+		return -1, nil
+	}
+	inRange, p := -1, 0.0
+	for i, tx := range transmitters {
+		if err := checkIndex(tx, rx, len(u.positions)); err != nil {
+			return -1, err
+		}
+		if tx == rx {
+			return -1, nil
+		}
+		if q := u.prr(tx, rx); q > 0 {
+			if inRange >= 0 {
+				return -1, nil // collision of two audible packets: no capture
+			}
+			inRange, p = i, q
+		}
+	}
+	if inRange >= 0 && Draw(p, rng) {
+		return inRange, nil
+	}
+	return -1, nil
+}

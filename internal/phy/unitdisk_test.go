@@ -1,0 +1,252 @@
+package phy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lineDisk builds an n-node line with the given spacing wrapped in a hard
+// unit disk of the given radius.
+func lineDisk(t *testing.T, n int, spacing, radius, gray float64) *UnitDisk {
+	t.Helper()
+	pos := make([]Position, n)
+	for i := range pos {
+		pos[i] = Position{X: float64(i) * spacing}
+	}
+	u, err := NewUnitDisk(IdealParams(), pos, radius, gray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUnitDiskPRRExact(t *testing.T) {
+	// Spacing 10, radius 15: only adjacent nodes are connected, exactly.
+	u := lineDisk(t, 5, 10, 15, 0)
+	for tx := 0; tx < 5; tx++ {
+		for rx := 0; rx < 5; rx++ {
+			prr, err := u.PRR(tx, rx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			if tx != rx && abs(tx-rx) == 1 {
+				want = 1.0
+			}
+			if prr != want {
+				t.Fatalf("PRR(%d,%d) = %v, want %v", tx, rx, prr, want)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestUnitDiskGrayZoneRamp(t *testing.T) {
+	// Radius 10, gray 10: distance 10 → 1, 15 → 0.5, 20+ → 0.
+	pos := []Position{{X: 0}, {X: 10}, {X: 15}, {X: 20}, {X: 25}}
+	u, err := NewUnitDisk(IdealParams(), pos, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range map[int]float64{1: 1, 2: 0.5, 3: 0, 4: 0} {
+		prr, err := u.PRR(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(prr-want) > 1e-12 {
+			t.Fatalf("PRR(0,%d) = %v, want %v", i, prr, want)
+		}
+	}
+	// The ramp is monotone non-increasing in distance.
+	prev := 1.1
+	for d := 0.0; d <= 25; d += 0.5 {
+		u2, err := NewUnitDisk(IdealParams(), []Position{{}, {X: d}}, 10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prr, err := u2.PRR(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prr > prev {
+			t.Fatalf("PRR not monotone at distance %v: %v > %v", d, prr, prev)
+		}
+		prev = prr
+	}
+}
+
+func TestUnitDiskSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pos := make([]Position, 12)
+	for i := range pos {
+		pos[i] = Position{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	u, err := NewUnitDisk(IdealParams(), pos, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pos {
+		for j := range pos {
+			a, _ := u.PRR(i, j)
+			b, _ := u.PRR(j, i)
+			if a != b {
+				t.Fatalf("asymmetric PRR(%d,%d)=%v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestUnitDiskHardDiskConsumesNoRandomness passes a nil RNG: every certain
+// outcome (PRR 0 or 1) must be decided without a draw, so a hard disk is
+// fully deterministic.
+func TestUnitDiskHardDiskConsumesNoRandomness(t *testing.T) {
+	u := lineDisk(t, 4, 10, 15, 0)
+	ok, err := u.ReceiveSingle(0, 1, nil)
+	if err != nil || !ok {
+		t.Fatalf("in-range single reception: %v %v", ok, err)
+	}
+	ok, err = u.ReceiveSingle(0, 3, nil)
+	if err != nil || ok {
+		t.Fatalf("out-of-range single reception: %v %v", ok, err)
+	}
+	ok, err = u.ReceiveConcurrentFast(2, []int{1, 3}, nil)
+	if err != nil || !ok {
+		t.Fatalf("concurrent in-range reception: %v %v", ok, err)
+	}
+	ok, err = u.ReceiveConcurrent(0, []int{2, 3}, nil)
+	if err != nil || ok {
+		t.Fatalf("concurrent out-of-range reception: %v %v", ok, err)
+	}
+	got, err := u.ReceiveCapture(0, []int{1}, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("single-transmitter capture: %v %v", got, err)
+	}
+}
+
+func TestUnitDiskCaptureCollision(t *testing.T) {
+	// Nodes 1 and 2 are both in range of 0 with different packets: the
+	// idealized model never captures.
+	u := lineDisk(t, 3, 10, 25, 0)
+	got, err := u.ReceiveCapture(0, []int{1, 2}, nil)
+	if err != nil || got != -1 {
+		t.Fatalf("two audible packets captured: %v %v", got, err)
+	}
+	// Node 3 of a longer line is out of range of 0; only node 1 is audible.
+	u = lineDisk(t, 4, 10, 15, 0)
+	got, err = u.ReceiveCapture(0, []int{1, 3}, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("lone audible packet not captured: %v %v", got, err)
+	}
+}
+
+func TestUnitDiskGraphQueries(t *testing.T) {
+	// Adjacent-only line: hop distance from 0 is exactly the index.
+	u := lineDisk(t, 6, 10, 15, 0)
+	dist, err := HopDistances(u, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("hop distance of node %d = %d, want %d", i, d, i)
+		}
+	}
+	diam, connected, err := Diameter(u, 0.5)
+	if err != nil || !connected || diam != 5 {
+		t.Fatalf("diameter %d connected=%v err=%v, want 5 true nil", diam, connected, err)
+	}
+	nbrs, err := Neighbors(u, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 3 {
+		t.Fatalf("neighbors of 2 = %v, want [1 3]", nbrs)
+	}
+}
+
+func TestUnitDiskValidation(t *testing.T) {
+	pos := []Position{{}, {X: 1}}
+	if _, err := NewUnitDisk(IdealParams(), nil, 10, 0); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("no nodes: %v", err)
+	}
+	if _, err := NewUnitDisk(IdealParams(), pos, 0, 0); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("zero radius: %v", err)
+	}
+	if _, err := NewUnitDisk(IdealParams(), pos, -5, 0); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("negative radius: %v", err)
+	}
+	if _, err := NewUnitDisk(IdealParams(), pos, 10, -1); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("negative gray width: %v", err)
+	}
+	u, err := NewUnitDisk(IdealParams(), pos, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.PRR(0, 7); !errors.Is(err, ErrNodeIndex) {
+		t.Fatalf("out-of-range index: %v", err)
+	}
+	if _, err := u.ReceiveSingle(-1, 0, nil); !errors.Is(err, ErrNodeIndex) {
+		t.Fatalf("negative index: %v", err)
+	}
+}
+
+func TestUnitDiskFactoryDerivesRadius(t *testing.T) {
+	params := IdealParams()
+	want := UnitDiskRadius(params)
+	if want <= 0 {
+		t.Fatalf("derived radius %v", want)
+	}
+	r, err := UnitDiskFactory(0, 0)(params, []Position{{}, {X: want / 2}}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := r.(*UnitDisk)
+	if u.Radius() != want {
+		t.Fatalf("factory radius %v, want derived %v", u.Radius(), want)
+	}
+	// The derived radius is where the log-distance mean RSSI crosses the
+	// 50%-PRR midpoint.
+	rssi := params.TxPowerDBm - params.RefLossDB -
+		10*params.PathLossExponent*math.Log10(want)
+	if math.Abs(rssi-params.PRRMidpointDBm) > 1e-9 {
+		t.Fatalf("RSSI at derived radius = %v, want midpoint %v", rssi, params.PRRMidpointDBm)
+	}
+}
+
+// TestRadioConformance exercises shared Radio semantics across all phy
+// backends: self-reception never succeeds, transmitting nodes cannot
+// receive, and the PRR diagonal is 0.
+func TestRadioConformance(t *testing.T) {
+	pos := []Position{{X: 0}, {X: 10}, {X: 20}}
+	ld, err := NewLogDistance(DefaultParams(), pos, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := NewUnitDisk(IdealParams(), pos, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]Radio{"logdist": ld, "unitdisk": ud} {
+		rng := rand.New(rand.NewSource(3))
+		if n := r.NumNodes(); n != 3 {
+			t.Fatalf("%s: NumNodes %d", name, n)
+		}
+		if prr, err := r.PRR(1, 1); err != nil || prr != 0 {
+			t.Fatalf("%s: self PRR %v %v", name, prr, err)
+		}
+		if ok, err := r.ReceiveConcurrentFast(1, []int{1, 0}, rng); err != nil || ok {
+			t.Fatalf("%s: transmitter received its own slot: %v %v", name, ok, err)
+		}
+		if ok, err := r.ReceiveConcurrent(0, nil, rng); err != nil || ok {
+			t.Fatalf("%s: reception with no transmitters: %v %v", name, ok, err)
+		}
+	}
+}

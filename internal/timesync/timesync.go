@@ -36,8 +36,8 @@ var (
 
 // Config parameterizes a synchronization simulation.
 type Config struct {
-	// Channel is the radio environment.
-	Channel *phy.Channel
+	// Channel is the radio backend (any phy.Radio implementation).
+	Channel phy.Radio
 	// Initiator is the clock reference node.
 	Initiator int
 	// NTX is the Glossy retransmission budget of sync floods.

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Fuzz harness for the trace parsers. The invariants under fuzzing:
+//
+//  1. no input may panic the parser — malformed traces error;
+//  2. any input that parses must round-trip: parse → serialize → parse
+//     yields a deeply equal trace (serialization is canonical and loses
+//     nothing the parser keeps).
+//
+// CI runs these in seed-corpus mode (go test -run Fuzz), which replays the
+// f.Add seeds below plus any crashers checked into testdata/fuzz as
+// regression tests; local exploration uses go test -fuzz=FuzzParseCSV.
+
+func FuzzParseCSV(f *testing.F) {
+	f.Add([]byte(validCSV))
+	f.Add([]byte("nodes,2\n0,1,1\n"))
+	f.Add([]byte("nodes,2\nname,x\ntx,rx,prr\n1,0,0.25\n"))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte("nodes,1000000\n"))
+	f.Add([]byte("nodes,3\n0,1,5e-1\n"))
+	f.Add([]byte("nodes,3\n0,1,0.5\n0,1,0.5\n"))
+	f.Add([]byte("nodes,-4\n"))
+	f.Add([]byte(""))
+	for _, name := range BundledNames() {
+		if tr, err := Bundled(name); err == nil {
+			f.Add(tr.MarshalCSV())
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseCSV(data) // must never panic
+		if err != nil {
+			return
+		}
+		again, err := ParseCSV(tr.MarshalCSV())
+		if err != nil {
+			t.Fatalf("serialized form of a valid trace failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatalf("round trip unstable:\nfirst:  %+v\nsecond: %+v", tr, again)
+		}
+	})
+}
+
+func FuzzParseJSON(f *testing.F) {
+	f.Add([]byte(validJSON))
+	f.Add([]byte(`{"nodes":2,"links":[]}`))
+	f.Add([]byte(`{"nodes":2,"links":[{"tx":0,"rx":1,"prr":1}]}`))
+	f.Add([]byte(`{"nodes":1e9,"links":[]}`))
+	f.Add([]byte(`{"nodes":3,"links":[{"tx":0,"rx":1,"prr":1e-300}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	for _, name := range BundledNames() {
+		if tr, err := Bundled(name); err == nil {
+			if raw, err := tr.MarshalJSON(); err == nil {
+				f.Add(raw)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseJSON(data) // must never panic
+		if err != nil {
+			return
+		}
+		raw, err := tr.MarshalJSON()
+		if err != nil {
+			t.Fatalf("serialize of a valid trace failed: %v", err)
+		}
+		again, err := ParseJSON(raw)
+		if err != nil {
+			t.Fatalf("serialized form of a valid trace failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatalf("round trip unstable:\nfirst:  %+v\nsecond: %+v", tr, again)
+		}
+	})
+}

@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"embed"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Link traces: recorded per-link packet-reception-ratio matrices, the data
+// behind the trace-driven radio backend (Channel). A trace is what a testbed
+// link-quality survey produces — for every directed pair (tx, rx), the
+// long-run fraction of packets rx hears from tx — serialized as either a
+// compact CSV or a JSON document. Two small example traces are bundled with
+// the package (Bundled / BundledNames) so trace-driven scenarios run out of
+// the box.
+
+// Errors returned by trace parsing and channel construction.
+var (
+	// ErrBadTrace is returned for malformed or inconsistent trace files.
+	ErrBadTrace = errors.New("trace: invalid link trace")
+)
+
+// MaxTraceNodes bounds the node count a trace file may declare, so a
+// corrupt or hostile header cannot force a quadratic allocation.
+const MaxTraceNodes = 1024
+
+// LinkTrace is a recorded per-link PRR matrix.
+type LinkTrace struct {
+	// Name labels the trace (testbed, date, survey id).
+	Name string
+	// Nodes is the node count.
+	Nodes int
+	// PRR[tx][rx] is the recorded reception ratio of the directed link
+	// tx→rx, in [0, 1]. Unrecorded links are 0; the diagonal is always 0.
+	PRR [][]float64
+}
+
+// jsonLink is one directed link in the JSON wire format.
+type jsonLink struct {
+	Tx  int     `json:"tx"`
+	Rx  int     `json:"rx"`
+	PRR float64 `json:"prr"`
+}
+
+// jsonTrace is the JSON wire format: links are listed sparsely.
+type jsonTrace struct {
+	Name  string     `json:"name,omitempty"`
+	Nodes int        `json:"nodes"`
+	Links []jsonLink `json:"links"`
+}
+
+// newMatrix validates the node count and allocates the PRR matrix.
+func newMatrix(nodes int) ([][]float64, error) {
+	if nodes < 2 || nodes > MaxTraceNodes {
+		return nil, fmt.Errorf("%w: %d nodes (want 2..%d)", ErrBadTrace, nodes, MaxTraceNodes)
+	}
+	m := make([][]float64, nodes)
+	for i := range m {
+		m[i] = make([]float64, nodes)
+	}
+	return m, nil
+}
+
+// setLink validates and stores one directed link, rejecting duplicates.
+func setLink(m [][]float64, seen [][]bool, tx, rx int, prr float64) error {
+	n := len(m)
+	if tx < 0 || tx >= n || rx < 0 || rx >= n {
+		return fmt.Errorf("%w: link (%d,%d) with %d nodes", ErrBadTrace, tx, rx, n)
+	}
+	if tx == rx {
+		return fmt.Errorf("%w: self link at node %d", ErrBadTrace, tx)
+	}
+	if math.IsNaN(prr) || prr < 0 || prr > 1 {
+		return fmt.Errorf("%w: link (%d,%d) PRR %v outside [0,1]", ErrBadTrace, tx, rx, prr)
+	}
+	if seen[tx][rx] {
+		return fmt.Errorf("%w: duplicate link (%d,%d)", ErrBadTrace, tx, rx)
+	}
+	seen[tx][rx] = true
+	m[tx][rx] = prr
+	return nil
+}
+
+// ParseCSV parses the CSV trace format:
+//
+//	# comments and blank lines are ignored
+//	nodes,<N>          (required first record)
+//	name,<label>       (optional)
+//	tx,rx,prr          (optional header)
+//	0,1,0.95           (one directed link per line)
+//
+// Links are directed; asymmetric testbeds record both directions. Every
+// link must be in range, non-self, with PRR in [0, 1], and unique.
+func ParseCSV(data []byte) (*LinkTrace, error) {
+	var (
+		tr   *LinkTrace
+		seen [][]bool
+	)
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if tr == nil {
+			key, val, ok := strings.Cut(line, ",")
+			if !ok || strings.TrimSpace(key) != "nodes" {
+				return nil, fmt.Errorf("%w: line %d: expected nodes,<N> header, got %q",
+					ErrBadTrace, lineNo+1, line)
+			}
+			nodes, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: node count: %v", ErrBadTrace, lineNo+1, err)
+			}
+			m, err := newMatrix(nodes)
+			if err != nil {
+				return nil, err
+			}
+			tr = &LinkTrace{Nodes: nodes, PRR: m}
+			seen = make([][]bool, nodes)
+			for i := range seen {
+				seen[i] = make([]bool, nodes)
+			}
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "name,"); ok {
+			// Canonicalize interior CR (a LF can't survive line splitting)
+			// so parse output always round-trips through MarshalCSV.
+			tr.Name = strings.TrimSpace(strings.ReplaceAll(name, "\r", " "))
+			continue
+		}
+		if line == "tx,rx,prr" {
+			continue // column header
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: want tx,rx,prr, got %q", ErrBadTrace, lineNo+1, line)
+		}
+		tx, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: tx: %v", ErrBadTrace, lineNo+1, err)
+		}
+		rx, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: rx: %v", ErrBadTrace, lineNo+1, err)
+		}
+		prr, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: prr: %v", ErrBadTrace, lineNo+1, err)
+		}
+		if err := setLink(tr.PRR, seen, tx, rx, prr); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("%w: empty trace", ErrBadTrace)
+	}
+	return tr, nil
+}
+
+// ParseJSON parses the JSON trace format:
+//
+//	{"name":"line5","nodes":5,"links":[{"tx":0,"rx":1,"prr":0.95},...]}
+//
+// Unknown fields are rejected; link validation matches ParseCSV.
+func ParseJSON(data []byte) (*LinkTrace, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var wire jsonTrace
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	// A trace is a single document; trailing garbage is a corrupt file.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after trace document", ErrBadTrace)
+	}
+	m, err := newMatrix(wire.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	tr := &LinkTrace{Name: wire.Name, Nodes: wire.Nodes, PRR: m}
+	seen := make([][]bool, wire.Nodes)
+	for i := range seen {
+		seen[i] = make([]bool, wire.Nodes)
+	}
+	for _, l := range wire.Links {
+		if err := setLink(tr.PRR, seen, l.Tx, l.Rx, l.PRR); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// MarshalCSV serializes the trace in the ParseCSV format: links with PRR > 0
+// in row-major order, floats in shortest round-tripping notation, so
+// parse → serialize → parse is stable.
+func (t *LinkTrace) MarshalCSV() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes,%d\n", t.Nodes)
+	if t.Name != "" {
+		// Names can carry arbitrary characters when the trace came from JSON
+		// or was hand-built; line breaks would inject records into the CSV.
+		name := strings.NewReplacer("\n", " ", "\r", " ").Replace(t.Name)
+		fmt.Fprintf(&b, "name,%s\n", name)
+	}
+	b.WriteString("tx,rx,prr\n")
+	for tx := range t.PRR {
+		for rx, prr := range t.PRR[tx] {
+			if prr > 0 {
+				fmt.Fprintf(&b, "%d,%d,%s\n", tx, rx, strconv.FormatFloat(prr, 'g', -1, 64))
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// MarshalJSON serializes the trace in the ParseJSON wire format (sparse
+// row-major link list), keeping parse → serialize → parse stable.
+func (t *LinkTrace) MarshalJSON() ([]byte, error) {
+	wire := jsonTrace{Name: t.Name, Nodes: t.Nodes, Links: []jsonLink{}}
+	for tx := range t.PRR {
+		for rx, prr := range t.PRR[tx] {
+			if prr > 0 {
+				wire.Links = append(wire.Links, jsonLink{Tx: tx, Rx: rx, PRR: prr})
+			}
+		}
+	}
+	return json.Marshal(wire)
+}
+
+// Load reads a trace file, dispatching on the extension (.csv or .json).
+func Load(path string) (*LinkTrace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ParseCSV(data)
+	case ".json":
+		return ParseJSON(data)
+	default:
+		return nil, fmt.Errorf("%w: unsupported trace extension %q (want .csv or .json)",
+			ErrBadTrace, ext)
+	}
+}
+
+//go:embed traces
+var bundledFS embed.FS
+
+// Bundled returns one of the example traces shipped with the package, by
+// base name (see BundledNames).
+func Bundled(name string) (*LinkTrace, error) {
+	for _, ext := range []string{".csv", ".json"} {
+		data, err := bundledFS.ReadFile("traces/" + name + ext)
+		if err != nil {
+			continue
+		}
+		if ext == ".csv" {
+			return ParseCSV(data)
+		}
+		return ParseJSON(data)
+	}
+	return nil, fmt.Errorf("%w: no bundled trace %q (have %v)", ErrBadTrace, name, BundledNames())
+}
+
+// BundledNames lists the example traces shipped with the package, sorted.
+func BundledNames() []string {
+	entries, err := bundledFS.ReadDir("traces")
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		base := e.Name()
+		names = append(names, strings.TrimSuffix(base, filepath.Ext(base)))
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const validCSV = `# survey of a triangle
+nodes,3
+name,tri
+tx,rx,prr
+0,1,0.9
+1,0,0.8
+1,2,0.5
+2,1,0.5
+0,2,0.25
+`
+
+const validJSON = `{"name":"tri","nodes":3,"links":[
+{"tx":0,"rx":1,"prr":0.9},{"tx":1,"rx":0,"prr":0.8},
+{"tx":1,"rx":2,"prr":0.5},{"tx":2,"rx":1,"prr":0.5},
+{"tx":0,"rx":2,"prr":0.25}]}`
+
+func TestParseCSV(t *testing.T) {
+	tr, err := ParseCSV([]byte(validCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "tri" || tr.Nodes != 3 {
+		t.Fatalf("parsed %q/%d", tr.Name, tr.Nodes)
+	}
+	if tr.PRR[0][1] != 0.9 || tr.PRR[1][0] != 0.8 || tr.PRR[0][2] != 0.25 {
+		t.Fatalf("matrix %v", tr.PRR)
+	}
+	if tr.PRR[2][0] != 0 {
+		t.Fatalf("unrecorded link nonzero: %v", tr.PRR[2][0])
+	}
+}
+
+func TestParseJSONMatchesCSV(t *testing.T) {
+	fromCSV, err := ParseCSV([]byte(validCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseJSON([]byte(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromCSV, fromJSON) {
+		t.Fatalf("CSV and JSON forms of the same trace differ:\n%+v\n%+v", fromCSV, fromJSON)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	a, err := ParseCSV([]byte(validCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseCSV(a.MarshalCSV())
+	if err != nil {
+		t.Fatalf("reparse of serialized trace: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("CSV round trip unstable:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a, err := ParseJSON([]byte(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := a.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatalf("reparse of serialized trace: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("JSON round trip unstable:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"comments only":    "# nothing\n\n",
+		"missing header":   "0,1,0.5\n",
+		"bad node count":   "nodes,zebra\n",
+		"one node":         "nodes,1\n",
+		"too many nodes":   "nodes,1000000\n",
+		"short line":       "nodes,3\n0,1\n",
+		"long line":        "nodes,3\n0,1,0.5,extra\n",
+		"bad tx":           "nodes,3\nx,1,0.5\n",
+		"bad rx":           "nodes,3\n0,y,0.5\n",
+		"bad prr":          "nodes,3\n0,1,huh\n",
+		"tx out of range":  "nodes,3\n3,1,0.5\n",
+		"negative rx":      "nodes,3\n0,-1,0.5\n",
+		"self link":        "nodes,3\n1,1,0.5\n",
+		"prr above one":    "nodes,3\n0,1,1.5\n",
+		"prr negative":     "nodes,3\n0,1,-0.5\n",
+		"prr NaN":          "nodes,3\n0,1,NaN\n",
+		"duplicate link":   "nodes,3\n0,1,0.5\n0,1,0.6\n",
+		"header not first": "name,x\nnodes,3\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseCSV([]byte(input)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: error %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"not json":       "nodes,3",
+		"truncated":      `{"nodes":3,"links":[`,
+		"unknown field":  `{"nodes":3,"bogus":1,"links":[]}`,
+		"trailing data":  `{"nodes":3,"links":[]}{"nodes":4}`,
+		"one node":       `{"nodes":1,"links":[]}`,
+		"self link":      `{"nodes":3,"links":[{"tx":1,"rx":1,"prr":0.5}]}`,
+		"out of range":   `{"nodes":3,"links":[{"tx":0,"rx":9,"prr":0.5}]}`,
+		"prr above one":  `{"nodes":3,"links":[{"tx":0,"rx":1,"prr":2}]}`,
+		"duplicate link": `{"nodes":3,"links":[{"tx":0,"rx":1,"prr":0.5},{"tx":0,"rx":1,"prr":0.4}]}`,
+		"float nodes":    `{"nodes":2.5,"links":[]}`,
+	}
+	for name, input := range cases {
+		if _, err := ParseJSON([]byte(input)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: error %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+func TestLoadDispatchesOnExtension(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	jsonPath := filepath.Join(dir, "t.json")
+	badPath := filepath.Join(dir, "t.xml")
+	if err := os.WriteFile(csvPath, []byte(validCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, []byte(validJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(badPath, []byte(validJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Load of equivalent CSV and JSON differ")
+	}
+	if _, err := Load(badPath); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("unsupported extension: %v", err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestBundledTraces(t *testing.T) {
+	names := BundledNames()
+	if len(names) != 2 {
+		t.Fatalf("bundled traces %v, want 2", names)
+	}
+	for _, name := range names {
+		tr, err := Bundled(name)
+		if err != nil {
+			t.Fatalf("bundled %q: %v", name, err)
+		}
+		if tr.Nodes < 2 || tr.Name != name {
+			t.Fatalf("bundled %q: nodes=%d name=%q", name, tr.Nodes, tr.Name)
+		}
+		// Bundled surveys record symmetric links.
+		for i := 0; i < tr.Nodes; i++ {
+			for j := 0; j < tr.Nodes; j++ {
+				if tr.PRR[i][j] != tr.PRR[j][i] {
+					t.Fatalf("bundled %q: asymmetric link (%d,%d)", name, i, j)
+				}
+			}
+		}
+	}
+	if _, err := Bundled("no-such-trace"); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("unknown bundled name: %v", err)
+	}
+	// The names the rest of the repo (docs, scenario tests) refer to.
+	for _, want := range []string{"line5", "testbed10"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("bundled set %v missing %q", names, want)
+		}
+	}
+}
+
+func TestMarshalCSVDropsCommentsKeepsName(t *testing.T) {
+	tr, err := ParseCSV([]byte(validCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(tr.MarshalCSV())
+	if strings.Contains(out, "#") {
+		t.Fatalf("serialized trace kept comments:\n%s", out)
+	}
+	if !strings.Contains(out, "name,tri") || !strings.HasPrefix(out, "nodes,3\n") {
+		t.Fatalf("serialized trace malformed:\n%s", out)
+	}
+}
+
+// TestMarshalCSVSanitizesName: a JSON-sourced or hand-built name may carry
+// line breaks; serializing it as CSV must not inject records.
+func TestMarshalCSVSanitizesName(t *testing.T) {
+	tr, err := ParseJSON([]byte(`{"name":"x\n0,1,0.5","nodes":3,"links":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseCSV(tr.MarshalCSV())
+	if err != nil {
+		t.Fatalf("reparse of sanitized CSV: %v", err)
+	}
+	for i := range again.PRR {
+		for j, prr := range again.PRR[i] {
+			if prr != 0 {
+				t.Fatalf("name injected link (%d,%d)=%v", i, j, prr)
+			}
+		}
+	}
+	if strings.ContainsAny(again.Name, "\r\n") {
+		t.Fatalf("name kept line break: %q", again.Name)
+	}
+}
+
+// TestCSVRoundTripCarriageReturnName: interior CR in a name line must be
+// canonicalized at parse time, or parse → serialize → parse diverges.
+func TestCSVRoundTripCarriageReturnName(t *testing.T) {
+	a, err := ParseCSV([]byte("nodes,2\nname,a\rb\n0,1,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(a.Name, "\r") {
+		t.Fatalf("parse kept CR in name: %q", a.Name)
+	}
+	b, err := ParseCSV(a.MarshalCSV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("CR-name round trip unstable: %+v vs %+v", a, b)
+	}
+}

@@ -1,7 +1,12 @@
-// Package trace provides structured per-round event recording for protocol
-// debugging and post-hoc analysis: what happened when, at which node. The
-// core round runner emits events at phase and per-node granularity; the
-// recorder renders them as text or JSON for external tooling.
+// Package trace provides the simulation's two trace facilities:
+//
+//   - structured per-round event recording (Recorder) for protocol
+//     debugging and post-hoc analysis — what happened when, at which node —
+//     rendered as text or JSON for external tooling;
+//   - trace-driven radio replay (LinkTrace, Channel): recorded per-link PRR
+//     matrices, loadable from CSV/JSON, wrapped as a phy.Radio backend so
+//     protocols run over measured testbed link qualities instead of a
+//     propagation model.
 package trace
 
 import (

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iotmpc/internal/phy"
+)
+
+// Channel is the trace-driven radio backend: it replays a recorded per-link
+// PRR matrix (LinkTrace) instead of deriving reception from a propagation
+// model. Reception draws are Bernoulli in the recorded per-link ratios;
+// concurrent same-packet transmissions succeed with the union probability of
+// the individual links (independent receptions — the trace records no
+// constructive-interference structure). As with every backend, certain
+// outcomes (PRR 0 or 1) consume no randomness.
+type Channel struct {
+	params phy.Params
+	tr     *LinkTrace
+}
+
+var _ phy.Radio = (*Channel)(nil)
+
+// NewChannel wraps a link trace as a radio backend. params supplies the
+// timing/energy figures (airtimes, slot guard, radio currents) the trace
+// does not record.
+func NewChannel(params phy.Params, tr *LinkTrace) (*Channel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Nodes < 2 || len(tr.PRR) != tr.Nodes {
+		return nil, fmt.Errorf("%w: nil or inconsistent trace", ErrBadTrace)
+	}
+	// Hand-constructed traces (the parsers always build square matrices)
+	// must also be square, or reception queries would panic mid-simulation.
+	for i, row := range tr.PRR {
+		if len(row) != tr.Nodes {
+			return nil, fmt.Errorf("%w: PRR row %d has %d entries for %d nodes",
+				ErrBadTrace, i, len(row), tr.Nodes)
+		}
+	}
+	return &Channel{params: params, tr: tr}, nil
+}
+
+// Factory returns a phy.Factory replaying the trace. The positions only fix
+// the expected node count — a trace carries no geometry — and a mismatch
+// between deployment size and trace size is an error, not a truncation.
+// The seed is ignored: the trace IS the frozen randomness.
+func Factory(tr *LinkTrace) phy.Factory {
+	return func(params phy.Params, positions []phy.Position, _ int64) (phy.Radio, error) {
+		if tr != nil && len(positions) != tr.Nodes {
+			return nil, fmt.Errorf("%w: trace %q has %d nodes, deployment has %d",
+				ErrBadTrace, tr.Name, tr.Nodes, len(positions))
+		}
+		return NewChannel(params, tr)
+	}
+}
+
+// Trace returns the replayed link trace.
+func (c *Channel) Trace() *LinkTrace { return c.tr }
+
+// NumNodes returns the number of nodes in the trace.
+func (c *Channel) NumNodes() int { return c.tr.Nodes }
+
+// Params returns the PHY parameterization of the backend.
+func (c *Channel) Params() phy.Params { return c.params }
+
+// PRR returns the recorded reception ratio of the directed link tx→rx.
+func (c *Channel) PRR(tx, rx int) (float64, error) {
+	if err := c.checkIndex(tx, rx); err != nil {
+		return 0, err
+	}
+	if tx == rx {
+		return 0, nil
+	}
+	return c.tr.PRR[tx][rx], nil
+}
+
+// MeanRSSI synthesizes a received power from the recorded PRR by inverting
+// the log-distance model's RSSI→PRR sigmoid (clamped to ±6 widths around
+// the midpoint). Informational only: reception replays the trace directly.
+func (c *Channel) MeanRSSI(tx, rx int) (float64, error) {
+	if err := c.checkIndex(tx, rx); err != nil {
+		return 0, err
+	}
+	if tx == rx {
+		return math.Inf(-1), nil
+	}
+	p := c.tr.PRR[tx][rx]
+	if p <= 0 {
+		return c.params.SensitivityDBm - 1, nil // below the reception floor
+	}
+	const clampWidths = 6.0
+	logit := math.Log(p / (1 - p))
+	if p >= 1 || logit > clampWidths {
+		logit = clampWidths
+	} else if logit < -clampWidths {
+		logit = -clampWidths
+	}
+	return c.params.PRRMidpointDBm + c.params.PRRWidthDB*logit, nil
+}
+
+// ReceiveSingle draws one reception attempt for a lone transmission tx→rx.
+func (c *Channel) ReceiveSingle(tx, rx int, rng *rand.Rand) (bool, error) {
+	if err := c.checkIndex(tx, rx); err != nil {
+		return false, err
+	}
+	if tx == rx {
+		return false, nil
+	}
+	return phy.Draw(c.tr.PRR[tx][rx], rng), nil
+}
+
+// ReceiveConcurrent draws one reception attempt at rx for synchronized
+// same-packet transmitters: the union probability 1 − Π(1 − PRRᵢ) of the
+// individual recorded links.
+func (c *Channel) ReceiveConcurrent(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	return c.receiveUnion(rx, transmitters, rng)
+}
+
+// ReceiveConcurrentFast is identical to ReceiveConcurrent: replay has no
+// per-transmitter fading to shortcut.
+func (c *Channel) ReceiveConcurrentFast(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	return c.receiveUnion(rx, transmitters, rng)
+}
+
+func (c *Channel) receiveUnion(rx int, transmitters []int, rng *rand.Rand) (bool, error) {
+	if len(transmitters) == 0 {
+		return false, nil
+	}
+	miss := 1.0
+	for _, tx := range transmitters {
+		if err := c.checkIndex(tx, rx); err != nil {
+			return false, err
+		}
+		if tx == rx {
+			return false, nil // a transmitting node cannot receive in the same slot
+		}
+		miss *= 1 - c.tr.PRR[tx][rx]
+	}
+	return phy.Draw(1-miss, rng), nil
+}
+
+// ReceiveCapture draws a collision of different packets: the best recorded
+// link is captured iff it arrives AND no other transmitter's packet does
+// (probability PRR_best × Π_others(1 − PRRᵢ)); a single draw decides.
+func (c *Channel) ReceiveCapture(rx int, transmitters []int, rng *rand.Rand) (int, error) {
+	if len(transmitters) == 0 {
+		return -1, nil
+	}
+	bestIdx, best := -1, 0.0
+	for i, tx := range transmitters {
+		if err := c.checkIndex(tx, rx); err != nil {
+			return -1, err
+		}
+		if tx == rx {
+			return -1, nil
+		}
+		if p := c.tr.PRR[tx][rx]; p > best {
+			best, bestIdx = p, i
+		}
+	}
+	if bestIdx < 0 {
+		return -1, nil
+	}
+	pCapture := best
+	for i, tx := range transmitters {
+		if i != bestIdx {
+			pCapture *= 1 - c.tr.PRR[tx][rx]
+		}
+	}
+	if phy.Draw(pCapture, rng) {
+		return bestIdx, nil
+	}
+	return -1, nil
+}
+
+func (c *Channel) checkIndex(a, b int) error {
+	n := c.tr.Nodes
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return fmt.Errorf("%w: (%d,%d) with %d nodes", phy.ErrNodeIndex, a, b, n)
+	}
+	return nil
+}
