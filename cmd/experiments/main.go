@@ -1,7 +1,13 @@
 // Command experiments regenerates every figure panel of the paper's
 // evaluation (Fig. 1 a–d), the in-text headline gain claims, the MiniCast
 // coverage-vs-NTX characterization, and free-form scenario-matrix sweeps
-// over network size × threshold × loss rate × protocol.
+// over backend × network size × threshold × loss rate × NTX × slack ×
+// failure rate × verifiable mode × protocol.
+//
+// Matrix sweeps run on the streaming Runner: results appear (in index
+// order) the moment each cell completes, `-cache` makes repeated or
+// interrupted sweeps pay only for new cells, and `-out` selects the output
+// stream format.
 //
 // Examples:
 //
@@ -10,9 +16,13 @@
 //	experiments -panel coverage
 //	experiments -panel fig1c -csv > dcube.csv
 //	experiments -panel matrix -nodes 15,25,40 -loss 0.0,0.2,0.4 -workers 8
-//	experiments -panel matrix -nodes 20 -degrees 4,6,9 -csv > matrix.csv
+//	experiments -panel matrix -nodes 20 -degrees 4,6,9 -out csv > matrix.csv
 //	experiments -panel matrix -nodes 20 -phy logdist,unitdisk         # backend axis
 //	experiments -panel matrix -nodes 10 -phy trace:testbed10 -loss 0.0
+//	experiments -panel matrix -nodes 15,25 -fail 0.0,0.1,0.2          # crash injection axis
+//	experiments -panel matrix -nodes 20 -verifiable false,true        # VSS overhead axis
+//	experiments -panel matrix -nodes 15,25,40 -iters 2000 -cache ~/.iotmpc-cache -progress
+//	experiments -panel matrix -nodes 20 -out jsonl | jq .successRate
 package main
 
 import (
@@ -33,34 +43,63 @@ func main() {
 	}
 }
 
+// matrixFlags bundles everything -panel matrix consumes.
+type matrixFlags struct {
+	nodes, degrees, loss, phys   string
+	ntx, slack, fail, verifiable string
+	iters                        int
+	seed                         int64
+	workers                      int
+	csv, progress                bool
+	cacheDir, out                string
+	outSet                       bool
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var mf matrixFlags
 	var (
 		panel = fs.String("panel", "all",
 			"panel: fig1a, fig1b, fig1c, fig1d, gains, coverage, baseline, scalability, matrix, all")
-		iters   = fs.Int("iters", 50, "Monte-Carlo iterations per point (paper: 2000)")
-		seed    = fs.Int64("seed", 1, "randomness seed")
-		csv     = fs.Bool("csv", false, "emit CSV instead of tables")
-		workers = fs.Int("workers", 0, "matrix worker goroutines (0: GOMAXPROCS)")
-		nodes   = fs.String("nodes", "15,25,40", "matrix axis: comma-separated network sizes")
-		degrees = fs.String("degrees", "0", "matrix axis: polynomial degrees (0: n/3)")
-		loss    = fs.String("loss", "0.0,0.2,0.4", "matrix axis: interference burst probabilities")
-		phys    = fs.String("phy", "logdist",
-			"matrix axis: radio backends (logdist, unitdisk[:R[:G]], trace:<name-or-file>)")
+		iters = fs.Int("iters", 50, "Monte-Carlo iterations per point (paper: 2000)")
+		seed  = fs.Int64("seed", 1, "randomness seed")
+		csv   = fs.Bool("csv", false, "emit CSV instead of tables (matrix: alias for -out csv)")
 	)
+	fs.IntVar(&mf.workers, "workers", 0, "matrix worker goroutines (0: GOMAXPROCS)")
+	fs.StringVar(&mf.nodes, "nodes", "15,25,40", "matrix axis: comma-separated network sizes")
+	fs.StringVar(&mf.degrees, "degrees", "0", "matrix axis: polynomial degrees (0: n/3)")
+	fs.StringVar(&mf.loss, "loss", "0.0,0.2,0.4", "matrix axis: interference burst probabilities")
+	fs.StringVar(&mf.phys, "phy", "logdist",
+		"matrix axis: radio backends (logdist, unitdisk[:R[:G]], trace:<name-or-file>)")
+	fs.StringVar(&mf.ntx, "ntx", "0", "matrix axis: S4 sharing NTX values (0: protocol default 6)")
+	fs.StringVar(&mf.slack, "slack", "0", "matrix axis: extra destinations beyond k+1")
+	fs.StringVar(&mf.fail, "fail", "0", "matrix axis: node crash fractions in [0,1)")
+	fs.StringVar(&mf.verifiable, "verifiable", "false",
+		"matrix axis: Feldman-VSS share verification (comma-separated bools)")
+	fs.StringVar(&mf.cacheDir, "cache", "",
+		"matrix: content-addressed result cache directory (repeated sweeps skip cached cells)")
+	fs.BoolVar(&mf.progress, "progress", false, "matrix: narrate per-cell progress on stderr")
+	fs.StringVar(&mf.out, "out", "table", "matrix output stream: table, csv, jsonl")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	mf.iters, mf.seed, mf.csv = *iters, *seed, *csv
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			mf.outSet = true
+		}
+	})
 
 	if *panel == "matrix" {
-		return runMatrix(*nodes, *degrees, *loss, *phys, *iters, *seed, *workers, *csv)
+		return runMatrix(mf)
 	}
 	// The matrix-only flags do nothing for the fixed paper panels; reject
 	// them rather than let a user believe they took effect.
 	var misused []string
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "workers", "nodes", "degrees", "loss", "phy":
+		case "workers", "nodes", "degrees", "loss", "phy",
+			"ntx", "slack", "fail", "verifiable", "cache", "progress", "out":
 			misused = append(misused, "-"+f.Name)
 		}
 	})
@@ -153,39 +192,90 @@ func run(args []string) error {
 	return nil
 }
 
-// runMatrix parses the axis flags, fans the scenario matrix across the
-// worker pool, and renders the result.
-func runMatrix(nodes, degrees, loss, phys string, iters int, seed int64, workers int, csv bool) error {
-	nodeCounts, err := parseInts(nodes)
+// outputSink maps an -out format name to its stdout sink.
+func outputSink(format string) (experiment.Sink, error) {
+	switch format {
+	case "", "table":
+		return &experiment.TableSink{W: os.Stdout}, nil
+	case "csv":
+		return &experiment.CSVSink{W: os.Stdout}, nil
+	case "jsonl":
+		return &experiment.JSONLSink{W: os.Stdout}, nil
+	default:
+		return nil, fmt.Errorf("unknown -out format %q (want table, csv, jsonl)", format)
+	}
+}
+
+// runMatrix parses the axis flags and streams the scenario matrix through
+// the Runner: results hit the output sink in index order as cells complete.
+func runMatrix(mf matrixFlags) error {
+	nodeCounts, err := parseInts(mf.nodes)
 	if err != nil {
 		return fmt.Errorf("-nodes: %w", err)
 	}
-	degreeList, err := parseInts(degrees)
+	degreeList, err := parseInts(mf.degrees)
 	if err != nil {
 		return fmt.Errorf("-degrees: %w", err)
 	}
-	lossRates, err := parseFloats(loss)
+	lossRates, err := parseFloats(mf.loss)
 	if err != nil {
 		return fmt.Errorf("-loss: %w", err)
 	}
-	backends := parseList(phys)
-	m := experiment.Matrix{
-		Backends:   backends,
-		NodeCounts: nodeCounts,
-		Degrees:    degreeList,
-		LossRates:  lossRates,
-		Iterations: iters,
-		Seed:       seed,
-	}
-	results, err := experiment.RunMatrix(m, workers)
+	ntxValues, err := parseInts(mf.ntx)
 	if err != nil {
+		return fmt.Errorf("-ntx: %w", err)
+	}
+	slacks, err := parseInts(mf.slack)
+	if err != nil {
+		return fmt.Errorf("-slack: %w", err)
+	}
+	failureRates, err := parseFloats(mf.fail)
+	if err != nil {
+		return fmt.Errorf("-fail: %w", err)
+	}
+	verifiables, err := parseBools(mf.verifiable)
+	if err != nil {
+		return fmt.Errorf("-verifiable: %w", err)
+	}
+	m := experiment.Matrix{
+		Backends:     parseList(mf.phys),
+		NodeCounts:   nodeCounts,
+		Degrees:      degreeList,
+		LossRates:    lossRates,
+		NTXSharings:  ntxValues,
+		DestSlacks:   slacks,
+		FailureRates: failureRates,
+		Verifiable:   verifiables,
+		Iterations:   mf.iters,
+		Seed:         mf.seed,
+	}
+	format := mf.out
+	if mf.csv {
+		// -csv predates -out; honoring it quietly is fine when -out was left
+		// at its default, but an explicit conflicting -out must not be
+		// clobbered.
+		if mf.outSet && format != "csv" {
+			return fmt.Errorf("-csv conflicts with -out %s; pick one", format)
+		}
+		format = "csv"
+	}
+	sink, err := outputSink(format)
+	if err != nil {
+		return err
+	}
+	opts := []experiment.Option{
+		experiment.WithWorkers(mf.workers),
+		experiment.WithSinks(sink),
+	}
+	if mf.progress {
+		opts = append(opts, experiment.WithSinks(&experiment.ProgressSink{W: os.Stderr}))
+	}
+	if mf.cacheDir != "" {
+		opts = append(opts, experiment.WithCache(mf.cacheDir))
+	}
+	if _, err := experiment.NewRunner(opts...).Run(m); err != nil {
 		return fmt.Errorf("matrix sweep: %w", err)
 	}
-	if csv {
-		fmt.Print(experiment.MatrixCSV(results))
-		return nil
-	}
-	fmt.Println(experiment.MatrixTable(results))
 	return nil
 }
 
@@ -218,6 +308,19 @@ func parseFloats(s string) ([]float64, error) {
 	out := make([]float64, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseBools(s string) ([]bool, error) {
+	parts := strings.Split(s, ",")
+	out := make([]bool, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseBool(strings.TrimSpace(p))
 		if err != nil {
 			return nil, err
 		}

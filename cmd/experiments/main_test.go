@@ -70,3 +70,58 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("flag parse error not propagated")
 	}
 }
+
+func TestRunMatrixPanel(t *testing.T) {
+	if err := run([]string{"-panel", "matrix", "-nodes", "8", "-loss", "0.0", "-iters", "1"}); err != nil {
+		t.Fatalf("matrix: %v", err)
+	}
+}
+
+func TestRunMatrixOutputFormats(t *testing.T) {
+	for _, format := range []string{"table", "csv", "jsonl"} {
+		args := []string{"-panel", "matrix", "-nodes", "8", "-loss", "0.0", "-iters", "1", "-out", format}
+		if err := run(args); err != nil {
+			t.Fatalf("-out %s: %v", format, err)
+		}
+	}
+	if err := run([]string{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-out", "xml"}); err == nil {
+		t.Error("unknown -out format accepted")
+	}
+	if err := run([]string{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-csv", "-out", "jsonl"}); err == nil {
+		t.Error("conflicting -csv and -out accepted")
+	}
+}
+
+func TestRunMatrixNewAxes(t *testing.T) {
+	err := run([]string{"-panel", "matrix", "-nodes", "10", "-loss", "0.0", "-iters", "1",
+		"-ntx", "0,4", "-slack", "0,1", "-fail", "0,0.1", "-verifiable", "false,true"})
+	if err != nil {
+		t.Fatalf("axis flags: %v", err)
+	}
+}
+
+func TestRunMatrixCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-panel", "matrix", "-nodes", "8", "-loss", "0.0", "-iters", "1",
+		"-cache", dir, "-progress"}
+	if err := run(args); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+}
+
+func TestRunMatrixFlagsRejectedOnFixedPanels(t *testing.T) {
+	for _, args := range [][]string{
+		{"-panel", "fig1a", "-iters", "1", "-cache", "/tmp/x"},
+		{"-panel", "fig1a", "-iters", "1", "-out", "jsonl"},
+		{"-panel", "fig1a", "-iters", "1", "-progress"},
+		{"-panel", "fig1a", "-iters", "1", "-fail", "0.1"},
+		{"-panel", "fig1a", "-iters", "1", "-verifiable", "true"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: matrix-only flag accepted on a fixed panel", args)
+		}
+	}
+}

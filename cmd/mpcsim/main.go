@@ -1,6 +1,11 @@
 // Command mpcsim runs privacy-preserving aggregation rounds (S3 or S4) on a
 // simulated testbed and prints latency / radio-on-time / correctness metrics.
 //
+// The S3/S4 summary path runs as a single-cell sweep on the experiment
+// Runner, which is what gives it `-cache` (content-addressed result reuse),
+// `-progress`, and `-out csv|jsonl` for free; `-v` and `-trace` use a direct
+// loop that exposes per-iteration details the Runner's summaries fold away.
+//
 // Examples:
 //
 //	mpcsim -testbed flocklab -protocol s4 -iters 50
@@ -9,6 +14,8 @@
 //	mpcsim -testbed dcube -iters 2000 -workers 0    # fan trials over all cores
 //	mpcsim -testbed grid -phy unitdisk:40           # idealized radio backend
 //	mpcsim -testbed line -phy trace:testbed10       # replay a recorded 10-node PRR trace
+//	mpcsim -testbed dcube -iters 2000 -cache ~/.iotmpc-cache   # repeat runs are instant
+//	mpcsim -testbed flocklab -out jsonl | jq .latencyMs.p95
 package main
 
 import (
@@ -47,10 +54,17 @@ func run(args []string) error {
 		iters       = fs.Int("iters", 20, "Monte-Carlo iterations")
 		workers     = fs.Int("workers", 1, "iteration worker goroutines (0: GOMAXPROCS)")
 		seed        = fs.Int64("seed", 1, "randomness seed")
-		phySpec     = fs.String("phy", "logdist",
+		loss        = fs.Float64("loss", experiment.DefaultLossRate,
+			"interference burst probability in [0,1)")
+		phySpec = fs.String("phy", "logdist",
 			"radio backend: logdist, unitdisk[:R[:G]], or trace:<name-or-file>")
 		verbose   = fs.Bool("v", false, "print per-iteration results")
 		dumpTrace = fs.Bool("trace", false, "print the first iteration's event trace as JSON")
+		cacheDir  = fs.String("cache", "",
+			"content-addressed result cache directory (a repeated run is served without simulating)")
+		progress = fs.Bool("progress", false, "narrate run progress on stderr")
+		out      = fs.String("out", "",
+			"machine output on stdout instead of the human summary: csv, jsonl")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,10 +77,6 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	backend, err := experiment.ParseBackend(*phySpec)
-	if err != nil {
-		return fmt.Errorf("-phy: %w", err)
-	}
 	n := testbed.NumNodes()
 	srcCount := *sources
 	if srcCount == 0 {
@@ -77,31 +87,149 @@ func run(args []string) error {
 		return err
 	}
 
+	// The HE and -v/-trace paths build their own core/hepda config and need
+	// the backend factory in hand; the default Runner path hands the spec
+	// string to RunScenarios, which parses (and, for traces, loads) it
+	// exactly once itself.
+	parseBackend := func() (phy.Factory, error) {
+		backend, err := experiment.ParseBackend(*phySpec)
+		if err != nil {
+			return nil, fmt.Errorf("-phy: %w", err)
+		}
+		return backend, nil
+	}
+
+	runnerFlags := *cacheDir != "" || *progress || *out != ""
 	if strings.EqualFold(*protoName, "he") {
-		return runHE(testbed, backend, srcs, *iters, *seed, *verbose)
+		if runnerFlags {
+			return fmt.Errorf("-cache/-progress/-out do not apply to the HE baseline")
+		}
+		backend, err := parseBackend()
+		if err != nil {
+			return err
+		}
+		return runHE(testbed, backend, srcs, *iters, *seed, *loss, *verbose)
 	}
 	proto, err := pickProtocol(*protoName)
 	if err != nil {
 		return err
 	}
 
+	if *verbose || *dumpTrace {
+		if runnerFlags {
+			return fmt.Errorf("-v/-trace use the direct loop; they cannot combine with -cache/-progress/-out")
+		}
+		backend, err := parseBackend()
+		if err != nil {
+			return err
+		}
+		return runDirect(testbed, backend, proto, srcs, *degree, *ntx, *slack,
+			*iters, *workers, *seed, *loss, *verbose, *dumpTrace)
+	}
+
+	// The default path: one hand-built scenario cell through the Runner —
+	// same engine as cmd/experiments, so caching, progress narration, and
+	// machine output formats come from the same sinks.
+	sc := experiment.Scenario{
+		Testbed:     strings.ToLower(*testbedName),
+		Backend:     *phySpec,
+		Nodes:       n,
+		SourceCount: *sources,
+		Degree:      *degree,
+		LossRate:    *loss,
+		Protocol:    proto,
+		NTXSharing:  *ntx,
+		DestSlack:   *slack,
+		Iterations:  *iters,
+		Seed:        *seed,
+	}
+	var sinks []experiment.Sink
+	switch *out {
+	case "":
+	case "csv":
+		sinks = append(sinks, &experiment.CSVSink{W: os.Stdout})
+	case "jsonl":
+		sinks = append(sinks, &experiment.JSONLSink{W: os.Stdout})
+	default:
+		return fmt.Errorf("unknown -out format %q (want csv, jsonl)", *out)
+	}
+	if *progress {
+		sinks = append(sinks, &experiment.ProgressSink{W: os.Stderr})
+	}
+	opts := []experiment.Option{
+		experiment.WithTrialWorkers(*workers),
+		experiment.WithSinks(sinks...),
+	}
+	if *cacheDir != "" {
+		opts = append(opts, experiment.WithCache(*cacheDir))
+	}
+	results, err := experiment.NewRunner(opts...).RunScenarios([]experiment.Scenario{sc})
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		return nil // the sink already wrote stdout
+	}
+	r := results[0]
+	cachedNote := ""
+	if r.Cached {
+		cachedNote = " (served from cache)"
+	}
+	// Report the settings core actually simulated with, via its own
+	// defaulting rules rather than a reimplementation of them.
+	norm, err := core.Config{
+		Topology:   testbed,
+		Protocol:   proto,
+		Sources:    srcs,
+		Degree:     *degree,
+		NTXSharing: *ntx,
+		DestSlack:  *slack,
+	}.Normalized()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("testbed=%s nodes=%d protocol=%v sources=%d degree=%d ntx(S4)=%d loss=%.2f%s\n",
+		testbed.Name, n, proto, srcCount, norm.Degree, norm.NTXSharing, *loss, cachedNote)
+	printSummary(r.LatencyMS, r.RadioOnMS)
+	fmt.Printf("success: %.2f%% of node-rounds obtained the correct aggregate (%d/%d rounds failed outright)\n",
+		r.SuccessRate*100, r.FailedRounds, *iters)
+	return nil
+}
+
+func printSummary(lat, radio metrics.Summary) {
+	fmt.Printf("latency  (ms): mean=%.1f median=%.1f p95=%.1f ±%.1f\n",
+		lat.Mean, lat.Median, lat.P95, lat.CI95)
+	fmt.Printf("radio-on (ms): mean=%.1f median=%.1f p95=%.1f ±%.1f\n",
+		radio.Mean, radio.Median, radio.P95, radio.CI95)
+}
+
+// runDirect is the per-iteration debug path (-v / -trace): it keeps the
+// bootstrap in hand so it can print the normalized configuration and the
+// first iteration's event trace, and prints every trial as it lands.
+func runDirect(testbed topology.Topology, backend phy.Factory, proto core.Protocol,
+	srcs []int, degree, ntx, slack, iters, workers int, seed int64, loss float64,
+	verbose, dumpTrace bool) error {
+	params := phy.DefaultParams()
+	params.InterferenceBurstProb = loss
 	cfg := core.Config{
 		Topology:    testbed,
+		PHY:         params,
 		Backend:     backend,
 		Protocol:    proto,
 		Sources:     srcs,
-		Degree:      *degree,
-		NTXSharing:  *ntx,
-		DestSlack:   *slack,
-		ChannelSeed: *seed,
+		Degree:      degree,
+		NTXSharing:  ntx,
+		DestSlack:   slack,
+		ChannelSeed: seed,
 	}
 	boot, err := core.RunBootstrap(cfg)
 	if err != nil {
 		return err
 	}
+	n := testbed.NumNodes()
 	norm := boot.Config()
 	fmt.Printf("testbed=%s nodes=%d protocol=%v sources=%d degree=%d ntx(S4)=%d ntxFull(S3)=%d\n",
-		testbed.Name, n, proto, srcCount, norm.Degree, norm.NTXSharing, boot.NTXFull)
+		testbed.Name, n, proto, len(srcs), norm.Degree, norm.NTXSharing, boot.NTXFull)
 	if proto == core.S4 {
 		fmt.Printf("destination set (|D|=%d): %v\n", len(boot.Dests), boot.Dests)
 	}
@@ -117,12 +245,12 @@ func run(args []string) error {
 		correct     int
 		nodes       int
 	}
-	rounds := make([]trialStats, *iters)
+	rounds := make([]trialStats, iters)
 	var firstTrace *trace.Recorder
-	if *dumpTrace && *iters > 0 {
+	if dumpTrace && iters > 0 {
 		firstTrace = &trace.Recorder{}
 	}
-	err = sim.ParallelFor(*iters, *workers, func(trial int) error {
+	err = sim.ParallelFor(iters, workers, func(trial int) error {
 		var rec *trace.Recorder
 		if trial == 0 {
 			rec = firstTrace
@@ -150,47 +278,58 @@ func run(args []string) error {
 		fmt.Printf("trace (%s):\n%s\n", firstTrace.Summary(), raw)
 	}
 
-	var lat, radio metrics.Series
-	okNodes, totalNodes := 0, 0
+	// Fold exactly like the Runner path (experiment.runScenario): latency
+	// over successful rounds only, radio-on over all rounds — so -v and the
+	// default path report the same statistics for the same trials.
+	var lat, radio metrics.Stream
+	okNodes, totalNodes, failedRounds := 0, 0, 0
 	for trial, res := range rounds {
-		lat.AddDuration(res.meanLatency)
+		if res.correct > 0 {
+			lat.AddDuration(res.meanLatency)
+		} else {
+			failedRounds++
+		}
 		radio.AddDuration(res.meanRadioOn)
 		okNodes += res.correct
 		totalNodes += res.nodes
-		if *verbose {
+		if verbose {
 			fmt.Printf("  iter %3d: latency=%v radio-on=%v correct=%d/%d\n",
 				trial, res.meanLatency, res.meanRadioOn, res.correct, n)
 		}
 	}
 
-	latSum, err := lat.Summarize()
-	if err != nil {
-		return err
+	var latSum metrics.Summary
+	if lat.Len() > 0 {
+		if latSum, err = lat.Summarize(); err != nil {
+			return err
+		}
 	}
 	radioSum, err := radio.Summarize()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("latency  (ms): mean=%.1f median=%.1f p95=%.1f ±%.1f\n",
-		latSum.Mean, latSum.Median, latSum.P95, latSum.CI95)
-	fmt.Printf("radio-on (ms): mean=%.1f median=%.1f p95=%.1f ±%.1f\n",
-		radioSum.Mean, radioSum.Median, radioSum.P95, radioSum.CI95)
-	fmt.Printf("success: %.2f%% of node-rounds obtained the correct aggregate\n",
-		100*float64(okNodes)/float64(totalNodes))
+	printSummary(latSum, radioSum)
+	fmt.Printf("success: %.2f%% of node-rounds obtained the correct aggregate (%d/%d rounds failed outright)\n",
+		100*float64(okNodes)/float64(totalNodes), failedRounds, iters)
 	return nil
 }
 
-// runHE executes the Paillier baseline instead of an SSS variant.
-func runHE(testbed topology.Topology, backend phy.Factory, sources []int, iters int, seed int64, verbose bool) error {
+// runHE executes the Paillier baseline instead of an SSS variant. It honors
+// -loss the same way the SSS paths do, so HE-vs-S4 comparisons at a given
+// interference level are apples to apples.
+func runHE(testbed topology.Topology, backend phy.Factory, sources []int, iters int, seed int64, loss float64, verbose bool) error {
+	params := phy.DefaultParams()
+	params.InterferenceBurstProb = loss
 	cfg := hepda.Config{
 		Topology:    testbed,
+		PHY:         params,
 		Backend:     backend,
 		Sources:     sources,
 		ChannelSeed: seed,
 	}
 	fmt.Printf("testbed=%s nodes=%d protocol=HE (Paillier 2048-bit model) sources=%d\n",
 		testbed.Name, testbed.NumNodes(), len(sources))
-	var lat, radio metrics.Series
+	var lat, radio metrics.Stream
 	correct := 0
 	for trial := 0; trial < iters; trial++ {
 		res, err := hepda.RunRound(cfg, uint64(trial))
@@ -215,27 +354,15 @@ func runHE(testbed topology.Topology, backend phy.Factory, sources []int, iters 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("latency  (ms): mean=%.1f median=%.1f p95=%.1f ±%.1f\n",
-		latSum.Mean, latSum.Median, latSum.P95, latSum.CI95)
-	fmt.Printf("radio-on (ms): mean=%.1f median=%.1f p95=%.1f ±%.1f\n",
-		radioSum.Mean, radioSum.Median, radioSum.P95, radioSum.CI95)
+	printSummary(latSum, radioSum)
 	fmt.Printf("success: %d/%d rounds decrypted the exact delivered sum\n", correct, iters)
 	return nil
 }
 
+// pickTestbed resolves the -testbed flag; kept as a thin alias of the
+// experiment layer's registry so both CLIs name the same deployments.
 func pickTestbed(name string) (topology.Topology, error) {
-	switch strings.ToLower(name) {
-	case "flocklab":
-		return topology.FlockLab(), nil
-	case "dcube":
-		return topology.DCube(), nil
-	case "grid":
-		return topology.Grid(4, 5, 30)
-	case "line":
-		return topology.Line(10, 35)
-	default:
-		return topology.Topology{}, fmt.Errorf("unknown testbed %q", name)
-	}
+	return experiment.NamedTestbed(name)
 }
 
 func pickProtocol(name string) (core.Protocol, error) {

@@ -86,6 +86,43 @@ func TestRunTraceMode(t *testing.T) {
 	}
 }
 
+func TestRunCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-testbed", "grid", "-protocol", "s4", "-sources", "8",
+		"-degree", "3", "-iters", "2", "-cache", dir, "-progress"}
+	if err := run(args); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+}
+
+func TestRunOutputFormats(t *testing.T) {
+	for _, format := range []string{"csv", "jsonl"} {
+		args := []string{"-testbed", "grid", "-protocol", "s4", "-sources", "8",
+			"-degree", "3", "-iters", "1", "-out", format}
+		if err := run(args); err != nil {
+			t.Fatalf("-out %s: %v", format, err)
+		}
+	}
+	if err := run([]string{"-testbed", "grid", "-iters", "1", "-out", "xml"}); err == nil {
+		t.Error("unknown -out format accepted")
+	}
+}
+
+func TestRunnerFlagsIncompatibleWithDebugPaths(t *testing.T) {
+	for _, args := range [][]string{
+		{"-testbed", "grid", "-iters", "1", "-v", "-cache", "/tmp/x"},
+		{"-testbed", "grid", "-iters", "1", "-trace", "-out", "jsonl"},
+		{"-testbed", "grid", "-protocol", "he", "-iters", "1", "-progress"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: incompatible flag combination accepted", args)
+		}
+	}
+}
+
 func TestRunVerboseOutput(t *testing.T) {
 	// Verbose mode exercises the per-iteration printing path.
 	if err := run([]string{"-testbed", "line", "-protocol", "s3", "-sources", "4",

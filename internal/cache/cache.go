@@ -1,0 +1,139 @@
+// Package cache is a content-addressed result store for the experiment
+// runner. Entries are JSON values filed under a key derived from the SHA-256
+// of a canonical input encoding plus a caller-supplied version stamp, so a
+// repeated or interrupted sweep only pays for cells whose inputs (or the
+// code producing them) actually changed.
+//
+// The store is deliberately forgiving on the read path: a missing, truncated,
+// tampered, or otherwise unreadable entry is reported as a miss, never as an
+// error — the caller's fallback is always "recompute and overwrite". Writes
+// are atomic (temp file + rename), so a crash mid-Put leaves either the old
+// entry or none, and concurrent writers of the same key are safe.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Key derives the content address for a canonical payload under a version
+// stamp. Bumping the version invalidates every previously stored entry
+// derived from the same payloads — the knob callers turn when the code that
+// computes the values changes semantics.
+func Key(version string, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(version))
+	h.Write([]byte{0}) // keep ("ab","c") and ("a","bc") distinct
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Store persists JSON values in one directory, one file per key.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file an entry for key lives at.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// envelope is the on-disk entry format. The checksum covers the value bytes,
+// so bit rot or manual edits are detected and the entry degrades to a miss
+// instead of serving a silently wrong result.
+type envelope struct {
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum"`
+	Value    json.RawMessage `json:"value"`
+}
+
+func valueChecksum(value []byte) string {
+	sum := sha256.Sum256(value)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get loads the entry for key into out. It returns (false, nil) when the
+// entry is absent or fails any integrity check — corruption is a cache miss,
+// not an error, so sweeps always fall back to recomputing.
+func (s *Store) Get(key string, out any) (bool, error) {
+	raw, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		return false, nil
+	}
+	var env envelope
+	if json.Unmarshal(raw, &env) != nil {
+		return false, nil
+	}
+	if env.Key != key || valueChecksum(env.Value) != env.Checksum {
+		return false, nil
+	}
+	if json.Unmarshal(env.Value, out) != nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// Put stores v under key, atomically replacing any existing entry.
+func (s *Store) Put(key string, v any) error {
+	value, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cache: encode value: %w", err)
+	}
+	raw, err := json.Marshal(envelope{
+		Key:      key,
+		Checksum: valueChecksum(value),
+		Value:    value,
+	})
+	if err != nil {
+		return fmt.Errorf("cache: encode entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Len counts the entries currently stored (diagnostics and tests).
+func (s *Store) Len() (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("cache: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+func TestKeyDistinguishesVersionAndPayload(t *testing.T) {
+	base := Key("v1", []byte("scenario-a"))
+	if base != Key("v1", []byte("scenario-a")) {
+		t.Fatal("key not deterministic")
+	}
+	if base == Key("v2", []byte("scenario-a")) {
+		t.Fatal("version bump did not change the key")
+	}
+	if base == Key("v1", []byte("scenario-b")) {
+		t.Fatal("payload change did not change the key")
+	}
+	// The separator keeps (version, payload) boundaries unambiguous.
+	if Key("ab", []byte("c")) == Key("a", []byte("bc")) {
+		t.Fatal("version/payload boundary ambiguous")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", []byte("cell-0"))
+
+	var out payload
+	if hit, err := s.Get(key, &out); err != nil || hit {
+		t.Fatalf("empty store: hit=%v err=%v", hit, err)
+	}
+	in := payload{Name: "cell-0", Value: 3.25}
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := s.Get(key, &out)
+	if err != nil || !hit {
+		t.Fatalf("after put: hit=%v err=%v", hit, err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("len = %d, %v", n, err)
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", []byte("cell"))
+	if err := s.Put(key, payload{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, payload{Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if hit, _ := s.Get(key, &out); !hit || out.Value != 2 {
+		t.Fatalf("overwrite: hit=%v out=%+v", hit, out)
+	}
+}
+
+func TestStoreCorruptionIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", []byte("cell"))
+	if err := s.Put(key, payload{Name: "x", Value: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":       func(b []byte) []byte { return b[:len(b)/2] },
+		"not json":        func(b []byte) []byte { return []byte("definitely not json") },
+		"flipped payload": func(b []byte) []byte { return []byte(string(b[:len(b)-3]) + "1}}") },
+	}
+	for name, corrupt := range corruptions {
+		raw, err := os.ReadFile(s.Path(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(s.Path(key), corrupt(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out payload
+		hit, err := s.Get(key, &out)
+		if err != nil {
+			t.Fatalf("%s: corruption surfaced as error: %v", name, err)
+		}
+		if hit {
+			t.Fatalf("%s: corrupted entry served as a hit", name)
+		}
+		// Restore via the normal write path for the next case.
+		if err := s.Put(key, payload{Name: "x", Value: 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreWrongKeyFileIsAMiss(t *testing.T) {
+	// An entry copied to another key's path (e.g. a botched manual restore)
+	// must not be served under the new key.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA := Key("v1", []byte("a"))
+	keyB := Key("v1", []byte("b"))
+	if err := s.Put(keyA, payload{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.Path(keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(keyB), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if hit, _ := s.Get(keyB, &out); hit {
+		t.Fatal("entry served under a key it was not stored for")
+	}
+}
+
+func TestOpenRejectsEmptyAndCreatesNested(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("nested dir not created: %v", err)
+	}
+}

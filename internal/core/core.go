@@ -121,6 +121,12 @@ type Config struct {
 	Verifiable bool
 }
 
+// Normalized returns the configuration with defaults filled (degree ⌊n/3⌋,
+// NTX 6, CPU model, PHY params) and validation applied — the exact
+// parameters a bootstrap of this Config would run with. CLIs use it to
+// report effective settings without duplicating the defaulting rules.
+func (c Config) Normalized() (Config, error) { return c.normalized() }
+
 // normalized fills defaults and validates.
 func (c Config) normalized() (Config, error) {
 	n := c.Topology.NumNodes()

@@ -29,6 +29,16 @@ import (
 // field empty: the paper's statistical channel.
 const DefaultBackend = "logdist"
 
+// traceIsFile reports whether a trace spec argument references a file on
+// disk, as opposed to a bundled trace name. It is the single
+// disk-vs-bundled rule shared by ParseBackend (what to load) and the
+// runner's cache keying (what to digest) — if they disagreed, editing a
+// trace file would stop invalidating its cached cells.
+func traceIsFile(arg string) bool {
+	ext := strings.ToLower(filepath.Ext(arg))
+	return ext == ".csv" || ext == ".json" || strings.ContainsAny(arg, `/\`)
+}
+
 // ParseBackend resolves a backend spec to a radio factory. A nil factory
 // (for the default log-distance spec) tells core to use its own default.
 func ParseBackend(spec string) (phy.Factory, error) {
@@ -74,8 +84,7 @@ func ParseBackend(spec string) (phy.Factory, error) {
 		// reports the available traces instead of a file-format error.
 		var lt *trace.LinkTrace
 		var err error
-		if ext := strings.ToLower(filepath.Ext(arg)); ext == ".csv" || ext == ".json" ||
-			strings.ContainsAny(arg, `/\`) {
+		if traceIsFile(arg) {
 			lt, err = trace.Load(arg)
 		} else {
 			lt, err = trace.Bundled(arg)

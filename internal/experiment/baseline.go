@@ -57,7 +57,7 @@ func BaselineComparison(iterations int, seed int64) ([]BaselineRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		var lat, radio metrics.Series
+		var lat, radio metrics.Stream
 		var cpuSum, chargeSum float64
 		for trial := 0; trial < iterations; trial++ {
 			res, err := core.RunRound(boot, uint64(trial))
@@ -85,7 +85,7 @@ func BaselineComparison(iterations int, seed int64) ([]BaselineRow, error) {
 		Sources:     sources,
 		ChannelSeed: seed,
 	}
-	var lat, radio metrics.Series
+	var lat, radio metrics.Stream
 	var cpuSum, chargeSum float64
 	for trial := 0; trial < iterations; trial++ {
 		res, err := hepda.RunRound(heCfg, uint64(trial))
@@ -112,7 +112,7 @@ func BaselineComparison(iterations int, seed int64) ([]BaselineRow, error) {
 	return rows, nil
 }
 
-func summarizeBaseline(name string, lat, radio *metrics.Series, cpuMS, chargeMC float64) (BaselineRow, error) {
+func summarizeBaseline(name string, lat, radio *metrics.Stream, cpuMS, chargeMC float64) (BaselineRow, error) {
 	latSum, err := lat.Summarize()
 	if err != nil {
 		return BaselineRow{}, err

@@ -159,7 +159,7 @@ func runPoint(spec SweepSpec, proto core.Protocol, sources []int) (Point, error)
 	if err != nil {
 		return Point{}, err
 	}
-	var lat, radio metrics.Series
+	var lat, radio metrics.Stream
 	okNodes, totalNodes := 0, 0
 	var ntxUsed, chainLen int
 	for trial := 0; trial < spec.Iterations; trial++ {

@@ -1,0 +1,412 @@
+package experiment
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+
+	"iotmpc/internal/cache"
+	"iotmpc/internal/phy"
+)
+
+// Runner is the streaming sweep engine: it executes a Matrix (or an explicit
+// scenario list) across a worker pool and emits every ScenarioResult to the
+// configured Sinks the moment its cell completes — in deterministic index
+// order, so the emitted stream (and the returned slice) is byte-identical
+// for any worker count. With a cache directory configured, cells whose
+// content address is already stored are served without simulating anything,
+// which makes repeated and interrupted sweeps pay only for new work.
+//
+// RunMatrix remains as a thin compatibility wrapper over a sink-less Runner.
+type Runner struct {
+	workers      int
+	trialWorkers int
+	cacheDir     string
+	sinks        []Sink
+	ctx          context.Context
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers sets the scenario-level worker count (<= 0 selects
+// GOMAXPROCS). Cells fan across these workers; the emitted results do not
+// depend on the count.
+func WithWorkers(n int) Option { return func(r *Runner) { r.workers = n } }
+
+// WithTrialWorkers sets the trial-level worker count inside each scenario
+// (<= 0 selects GOMAXPROCS, default 1). Matrix sweeps parallelize across
+// cells and leave this at 1; single-cell callers (cmd/mpcsim) raise it to
+// fan Monte-Carlo trials across cores instead. Results are identical for
+// any value.
+func WithTrialWorkers(n int) Option {
+	return func(r *Runner) {
+		r.trialWorkers = n
+		if n <= 0 {
+			r.trialWorkers = runtime.GOMAXPROCS(0)
+		}
+	}
+}
+
+// WithCache enables the content-addressed result cache rooted at dir (see
+// ScenarioCacheKey for the address definition).
+func WithCache(dir string) Option { return func(r *Runner) { r.cacheDir = dir } }
+
+// WithSinks appends result sinks. Sinks are driven from a single goroutine
+// in scenario-index order and need no internal locking.
+func WithSinks(sinks ...Sink) Option {
+	return func(r *Runner) { r.sinks = append(r.sinks, sinks...) }
+}
+
+// WithContext attaches a cancellation context: cancelling it stops the
+// dispatch of not-yet-started cells (in-flight cells finish) and Run returns
+// the context's error.
+func WithContext(ctx context.Context) Option { return func(r *Runner) { r.ctx = ctx } }
+
+// NewRunner builds a Runner from options. The zero configuration (no
+// options) is RunMatrix's historical behavior: GOMAXPROCS workers, no cache,
+// no sinks.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{trialWorkers: 1, ctx: context.Background()}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Plan is what sinks learn at OnStart: the fully expanded scenario list and
+// how the sweep will execute. CacheHits cells will be served from the cache
+// without simulation.
+type Plan struct {
+	Scenarios []Scenario
+	Workers   int
+	CacheDir  string
+	CacheHits int
+}
+
+// RunSummary is what sinks learn at OnFinish.
+type RunSummary struct {
+	Cells     int
+	CacheHits int
+	Computed  int
+	// CacheWriteErrors counts computed cells whose result could not be
+	// persisted (full or read-only cache volume). The cache is an
+	// optimization, so write failures never abort a sweep — they just mean
+	// those cells will be recomputed next time.
+	CacheWriteErrors int
+}
+
+// Sink consumes a sweep as a stream. OnResult is called exactly once per
+// scenario, in index order, as soon as that cell (and every cell before it)
+// has completed; all three methods are called from one goroutine. A non-nil
+// error aborts the sweep.
+type Sink interface {
+	OnStart(plan Plan) error
+	OnResult(r ScenarioResult) error
+	OnFinish(sum RunSummary) error
+}
+
+// ResultCacheVersion stamps every cache key with the simulation code
+// version. Bump it whenever a change alters what any scenario computes
+// (protocol logic, PHY models, metric folding) so stale entries become
+// misses instead of silently wrong answers.
+const ResultCacheVersion = "iotmpc/scenario-result/v1"
+
+// ScenarioCacheKey is the content address of a scenario's result: the
+// SHA-256 of ResultCacheVersion plus the scenario's canonical (JSON)
+// encoding — every swept field, including the derived seed — plus, for
+// trace backends that reference a file on disk, a digest of the file's
+// contents, so editing a trace invalidates its cached cells. Bundled traces
+// are code and ride on the version stamp.
+func ScenarioCacheKey(sc Scenario) (string, error) {
+	digest, err := backendContentDigest(sc.Backend)
+	if err != nil {
+		return "", err
+	}
+	return scenarioKeyWithDigest(sc, digest)
+}
+
+// scenarioKeyWithDigest is ScenarioCacheKey with the backend content digest
+// already resolved, so sweeps hash a shared trace file once per distinct
+// spec instead of once per cell.
+func scenarioKeyWithDigest(sc Scenario, digest string) (string, error) {
+	payload, err := json.Marshal(sc)
+	if err != nil {
+		return "", fmt.Errorf("experiment: encode scenario: %w", err)
+	}
+	payload = append(payload, digest...)
+	return cache.Key(ResultCacheVersion, payload), nil
+}
+
+// backendContentDigest hashes the trace file a backend spec references, or
+// returns "" for specs that carry no external content (traceIsFile is the
+// shared disk-vs-bundled rule).
+func backendContentDigest(spec string) (string, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	if kind != "trace" || arg == "" || !traceIsFile(arg) {
+		return "", nil
+	}
+	raw, err := os.ReadFile(arg)
+	if err != nil {
+		return "", fmt.Errorf("experiment: hash trace %q: %w", arg, err)
+	}
+	sum := sha256.Sum256(raw)
+	return fmt.Sprintf("trace:%x", sum), nil
+}
+
+// Run expands the matrix and executes it; see RunScenarios.
+func (r *Runner) Run(m Matrix) ([]ScenarioResult, error) {
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	return r.RunScenarios(scenarios)
+}
+
+// compMsg reports one cell's completion from the pool to the collector.
+type compMsg struct {
+	index   int
+	err     error
+	skipped bool // not executed: dispatch stopped by cancellation or failure
+}
+
+// RunScenarios executes an explicit scenario list (normally the output of
+// Matrix.Scenarios; cmd/mpcsim passes a single hand-built cell). Results are
+// returned — and streamed to the sinks — in list order, independent of
+// worker count. The first failing cell's error is returned (deterministic:
+// the lowest failing index), and it stops the dispatch of cells that have
+// not started yet.
+func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
+	n := len(scenarios)
+
+	// Resolve each distinct backend spec once (trace files parse once per
+	// sweep, not once per cell); the map is read-only once workers start.
+	factories := make(map[string]phy.Factory)
+	for _, sc := range scenarios {
+		if _, ok := factories[sc.Backend]; !ok {
+			f, err := ParseBackend(sc.Backend)
+			if err != nil {
+				return nil, err
+			}
+			factories[sc.Backend] = f
+		}
+	}
+
+	var store *cache.Store
+	if r.cacheDir != "" {
+		var err error
+		if store, err = cache.Open(r.cacheDir); err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([]ScenarioResult, n)
+	done := make([]bool, n)
+	keys := make([]string, n)
+	hits := 0
+	if store != nil {
+		digests := make(map[string]string, len(factories))
+		for i, sc := range scenarios {
+			digest, ok := digests[sc.Backend]
+			if !ok {
+				var err error
+				if digest, err = backendContentDigest(sc.Backend); err != nil {
+					return nil, err
+				}
+				digests[sc.Backend] = digest
+			}
+			key, err := scenarioKeyWithDigest(sc, digest)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = key
+			var res ScenarioResult
+			if ok, err := store.Get(key, &res); err != nil {
+				return nil, err
+			} else if ok {
+				res.Cached = true
+				results[i] = res
+				done[i] = true
+				hits++
+			}
+		}
+	}
+
+	workers := r.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	plan := Plan{Scenarios: scenarios, Workers: workers, CacheDir: r.cacheDir, CacheHits: hits}
+	for _, s := range r.sinks {
+		if err := s.OnStart(plan); err != nil {
+			return nil, err
+		}
+	}
+
+	var misses []int
+	for i := 0; i < n; i++ {
+		if !done[i] {
+			misses = append(misses, i)
+		}
+	}
+
+	// The collector below runs on this goroutine: it drains completion
+	// messages, marks cells done, and advances the emission frontier,
+	// calling sinks for every completed prefix cell. Sinks therefore see
+	// results in index order no matter how the pool interleaves.
+	next := 0
+	var sinkErr error
+	emit := func() {
+		for next < n && done[next] && sinkErr == nil {
+			for _, s := range r.sinks {
+				if err := s.OnResult(results[next]); err != nil {
+					sinkErr = err
+					return
+				}
+			}
+			next++
+		}
+	}
+	emit() // cached cells at the front stream out before any simulation
+	if sinkErr != nil {
+		// A sink died on the cached prefix (e.g. a closed downstream pipe):
+		// abort before starting the pool rather than simulating cells whose
+		// output has nowhere to go.
+		return nil, sinkErr
+	}
+
+	var putErrors atomic.Int64
+	if len(misses) > 0 {
+		if workers > len(misses) {
+			workers = len(misses)
+		}
+		idxCh := make(chan int)
+		compCh := make(chan compMsg)
+		stop := make(chan struct{})
+		var stopOnce func()
+		{
+			closed := false
+			stopOnce = func() {
+				if !closed {
+					closed = true
+					close(stop)
+				}
+			}
+		}
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range idxCh {
+					sc := scenarios[i]
+					res, err := runScenario(sc, factories[sc.Backend], r.trialWorkers)
+					if err == nil {
+						results[i] = res
+						if store != nil && store.Put(keys[i], res) != nil {
+							// The cache is an optimization: a failed write
+							// (full disk, read-only dir) must not discard a
+							// successfully computed sweep. The cell is simply
+							// not reusable next run; the summary counts it.
+							putErrors.Add(1)
+						}
+					}
+					compCh <- compMsg{index: i, err: err}
+				}
+			}()
+		}
+		go func() {
+			defer close(idxCh)
+			flushFrom := func(k int) {
+				for _, j := range misses[k:] {
+					compCh <- compMsg{index: j, skipped: true}
+				}
+			}
+			for k, i := range misses {
+				// Check cancellation/abort before offering the next index: a
+				// worker parked on idxCh makes both select cases ready, and
+				// select's random choice must not dispatch work after the
+				// sweep has been told to stop.
+				select {
+				case <-r.ctx.Done():
+					flushFrom(k)
+					return
+				case <-stop:
+					flushFrom(k)
+					return
+				default:
+				}
+				select {
+				case idxCh <- i:
+				case <-r.ctx.Done():
+					flushFrom(k)
+					return
+				case <-stop:
+					flushFrom(k)
+					return
+				}
+			}
+		}()
+
+		errAt := make([]error, n)
+		failed := false
+		for pending := len(misses); pending > 0; pending-- {
+			msg := <-compCh
+			switch {
+			case msg.skipped:
+				// never started; nothing to record
+			case msg.err != nil:
+				errAt[msg.index] = msg.err
+				failed = true
+				stopOnce()
+			default:
+				done[msg.index] = true
+				emit()
+				if sinkErr != nil {
+					failed = true
+					stopOnce()
+				}
+			}
+		}
+		if sinkErr != nil {
+			return nil, sinkErr
+		}
+		if failed {
+			for _, err := range errAt {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := r.ctx.Err(); err != nil && next < n {
+			return nil, err
+		}
+	}
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+
+	sum := RunSummary{
+		Cells:            n,
+		CacheHits:        hits,
+		Computed:         n - hits,
+		CacheWriteErrors: int(putErrors.Load()),
+	}
+	for _, s := range r.sinks {
+		if err := s.OnFinish(sum); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunMatrix expands the matrix and fans the scenarios across a worker pool
+// (workers <= 0 selects GOMAXPROCS). It is the historical batch entry
+// point, kept as a thin wrapper over Runner: results land at their
+// scenario's index, so the output — down to the last float — is identical
+// for any worker count, including 1.
+func RunMatrix(m Matrix, workers int) ([]ScenarioResult, error) {
+	return NewRunner(WithWorkers(workers)).Run(m)
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/core"
+	"iotmpc/internal/metrics"
+)
+
+// The runner benchmarks back BENCH_runner.json in CI: cold-vs-warm sweep
+// cost shows what the content-addressed cache buys, and the fold benchmarks
+// contrast the bounded-memory Stream with the buffered Series it replaced.
+
+func benchMatrix() Matrix {
+	return Matrix{
+		NodeCounts: []int{10},
+		LossRates:  []float64{0.1, 0.3},
+		Protocols:  []core.Protocol{core.S4},
+		Iterations: 2,
+		Seed:       11,
+	}
+}
+
+// BenchmarkRunnerColdSweep measures a full sweep with an empty cache every
+// iteration: expansion + bootstrap + rounds + cache writes.
+func BenchmarkRunnerColdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		if _, err := NewRunner(WithCache(dir)).Run(benchMatrix()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerWarmCache measures the same sweep served entirely from
+// cache — the repeated-sweep cost the redesign optimizes for.
+func BenchmarkRunnerWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	if _, err := NewRunner(WithCache(dir)).Run(benchMatrix()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRunner(WithCache(dir)).Run(benchMatrix()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const foldSamples = 100_000
+
+// BenchmarkStreamFold folds a paper-scale-plus sample count into the online
+// Stream (sketch mode past the exact limit): allocations stay O(1).
+func BenchmarkStreamFold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		var s metrics.Stream
+		for j := 0; j < foldSamples; j++ {
+			s.Add(rng.NormFloat64()*20 + 150)
+		}
+		if _, err := s.Summarize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeriesFold is the buffered baseline the Stream replaces: O(n)
+// memory plus a sort per summary.
+func BenchmarkSeriesFold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		var s metrics.Series
+		for j := 0; j < foldSamples; j++ {
+			s.Add(rng.NormFloat64()*20 + 150)
+		}
+		if _, err := s.Summarize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

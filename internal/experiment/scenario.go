@@ -3,7 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"strings"
+	"time"
 
 	"iotmpc/internal/core"
 	"iotmpc/internal/metrics"
@@ -13,8 +13,9 @@ import (
 )
 
 // The scenario engine sweeps the protocol over a declarative parameter
-// matrix — network size × threshold × loss rate × protocol — and fans the
-// resulting scenarios across a worker pool. Each scenario is fully
+// matrix — backend × network size × threshold × loss rate × NTX × slack ×
+// failure rate × verifiable mode × protocol — and fans the resulting
+// scenarios across a worker pool (see Runner). Each scenario is fully
 // self-contained (own topology, own bootstrap, own RNG streams rooted in a
 // per-scenario seed derived from the matrix seed and the scenario's index),
 // so a parallel run produces byte-identical results to a sequential one:
@@ -37,6 +38,21 @@ func officeDeployment(n int, seed int64) (topology.Topology, error) {
 	return topology.RandomGeometric(n, w, h, seed)
 }
 
+// probeLayout synthesizes the office-deployment node positions backend
+// validation probes run against. Probing with a realistic spread layout
+// (rather than n nodes piled at the origin, which makes every pair
+// zero-distance and lets a degenerate unit-disk or trace backend pass) means
+// expansion-time validation sees geometry of the same character the
+// scenarios themselves will. The probe seed is fixed: validation must not
+// depend on the matrix seed.
+func probeLayout(n int) ([]phy.Position, error) {
+	tb, err := officeDeployment(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	return tb.Positions, nil
+}
+
 // DefaultLossRate is the loss axis default when Matrix.LossRates is nil: a
 // moderate per-phase ambient interference burst probability representative
 // of an office 2.4 GHz environment (both FlockLab and D-Cube document WiFi/
@@ -44,6 +60,12 @@ func officeDeployment(n int, seed int64) (topology.Topology, error) {
 // default — scenarios sweep it independently of whatever the PHY model's
 // parameter defaults happen to be.
 const DefaultLossRate = 0.2
+
+// failureSeedStream is the RNG stream (off Scenario.Seed) that draws which
+// nodes crash under failure injection. It is distinct from the streams the
+// topology and channel layers consume, so adding failures never perturbs the
+// deployment or shadowing realization of an otherwise-identical scenario.
+const failureSeedStream = 0xFA17ED
 
 // Scenario is one fully-specified cell of a sweep matrix.
 type Scenario struct {
@@ -53,8 +75,17 @@ type Scenario struct {
 	// Backend is the radio-model spec (see ParseBackend); "" selects
 	// DefaultBackend, the log-distance channel.
 	Backend string `json:"backend,omitempty"`
-	// Nodes is the deployment size (random-geometric at officeDensity).
+	// Testbed optionally names a fixed deployment (see NamedTestbed:
+	// flocklab, dcube, grid, line) instead of the synthesized office layout.
+	// When set, Nodes must be 0 or match the testbed's size. This is how
+	// cmd/mpcsim routes single-testbed runs through the Runner.
+	Testbed string `json:"testbed,omitempty"`
+	// Nodes is the deployment size (random-geometric at officeDensity when
+	// Testbed is empty).
 	Nodes int `json:"nodes"`
+	// SourceCount is the number of source nodes, spread across the alive
+	// nodes; 0 selects all alive nodes (the matrix default).
+	SourceCount int `json:"sources,omitempty"`
 	// Degree is the polynomial degree k; 0 selects the paper's ⌊n/3⌋.
 	Degree int `json:"degree"`
 	// LossRate is the per-phase interference burst probability in [0, 1) —
@@ -66,10 +97,20 @@ type Scenario struct {
 	NTXSharing int `json:"ntxSharing"`
 	// DestSlack is S4's extra-destination count.
 	DestSlack int `json:"destSlack"`
+	// FailureRate is the fraction of nodes crashed for every round of the
+	// scenario, in [0, 1). ⌊rate·n⌋ nodes (never the initiator) are drawn
+	// from a dedicated RNG stream off Seed; crashed nodes neither transmit
+	// nor receive, and sources are spread over the survivors.
+	FailureRate float64 `json:"failureRate,omitempty"`
+	// Verifiable enables Feldman-VSS share verification (core.Config
+	// .Verifiable): commitments flooded in a preliminary chain, every share
+	// checked before it is absorbed.
+	Verifiable bool `json:"verifiable,omitempty"`
 	// Iterations is the Monte-Carlo repetition count.
 	Iterations int `json:"iterations"`
 	// Seed roots every random choice of the scenario (topology, shadowing,
-	// secrets, fading). Derived deterministically from the matrix seed.
+	// secrets, fading, failure draw). Derived deterministically from the
+	// matrix seed.
 	Seed int64 `json:"seed"`
 }
 
@@ -87,11 +128,19 @@ type Matrix struct {
 	// LossRates is the interference axis; nil selects the default PHY burst
 	// probability. Values must lie in [0, 1).
 	LossRates []float64
+	// NTXSharings is S4's sharing/reconstruction NTX axis; nil selects {0}
+	// (= the protocol default, 6).
+	NTXSharings []int
+	// DestSlacks is S4's extra-destination axis; nil selects {0}.
+	DestSlacks []int
+	// FailureRates is the crash-injection axis (fraction of nodes failed per
+	// scenario, in [0, 1)); nil selects {0} (no failures).
+	FailureRates []float64
+	// Verifiable is the VSS-mode axis; nil selects {false}. {false, true}
+	// sweeps the verification overhead head-to-head.
+	Verifiable []bool
 	// Protocols is the protocol axis; nil selects {S3, S4}.
 	Protocols []core.Protocol
-	// NTXSharing and DestSlack apply to every scenario (0 → defaults).
-	NTXSharing int
-	DestSlack  int
 	// Iterations is the Monte-Carlo repetition count per scenario. Required.
 	Iterations int
 	// Seed roots the whole sweep; per-scenario seeds are derived from it.
@@ -99,13 +148,16 @@ type Matrix struct {
 }
 
 // Scenarios expands the matrix into the ordered scenario list. Expansion
-// order is backend → nodes → degree → loss rate → protocol (protocol
-// innermost, so paired protocol comparisons sit adjacent in reports; backend
-// outermost, so a single-backend matrix keeps the indices — and therefore
-// the derived seeds — it had before the backend axis existed). Each
-// scenario's seed is sim.DeriveSeed(matrix seed, index): reordering or
-// extending an axis re-seeds affected scenarios, but a given (matrix, index)
-// pair is stable across runs and worker counts.
+// order is backend → nodes → degree → loss rate → NTX → slack → failure rate
+// → verifiable → protocol (protocol innermost, so paired protocol
+// comparisons sit adjacent in reports; backend outermost, so a single-
+// backend matrix keeps the indices — and therefore the derived seeds — it
+// had before the backend axis existed). Every axis added since then defaults
+// to a single value, so matrices that don't sweep it keep their pre-existing
+// index order and derived seeds. Each scenario's seed is
+// sim.DeriveSeed(matrix seed, index): reordering or extending an axis
+// re-seeds affected scenarios, but a given (matrix, index) pair is stable
+// across runs and worker counts.
 func (m Matrix) Scenarios() ([]Scenario, error) {
 	if len(m.NodeCounts) == 0 {
 		return nil, fmt.Errorf("%w: no node counts", ErrBadSpec)
@@ -125,6 +177,22 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 	if len(lossRates) == 0 {
 		lossRates = []float64{DefaultLossRate}
 	}
+	ntxValues := m.NTXSharings
+	if len(ntxValues) == 0 {
+		ntxValues = []int{0}
+	}
+	slacks := m.DestSlacks
+	if len(slacks) == 0 {
+		slacks = []int{0}
+	}
+	failureRates := m.FailureRates
+	if len(failureRates) == 0 {
+		failureRates = []float64{0}
+	}
+	verifiables := m.Verifiable
+	if len(verifiables) == 0 {
+		verifiables = []bool{false}
+	}
 	protocols := m.Protocols
 	if len(protocols) == 0 {
 		protocols = []core.Protocol{core.S3, core.S4}
@@ -139,6 +207,24 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 			return nil, fmt.Errorf("%w: loss rate %f outside [0,1)", ErrBadSpec, lr)
 		}
 	}
+	for _, ntx := range ntxValues {
+		if ntx < 0 {
+			return nil, fmt.Errorf("%w: NTX %d negative", ErrBadSpec, ntx)
+		}
+	}
+	for _, slack := range slacks {
+		if slack < 0 {
+			return nil, fmt.Errorf("%w: destination slack %d negative", ErrBadSpec, slack)
+		}
+	}
+	for _, fr := range failureRates {
+		if fr < 0 || fr >= 1 {
+			return nil, fmt.Errorf("%w: failure rate %f outside [0,1)", ErrBadSpec, fr)
+		}
+	}
+	// Probe layouts depend only on the node count; synthesize each once even
+	// when several backends probe against it.
+	layouts := make(map[int][]phy.Position, len(m.NodeCounts))
 	for _, b := range backends {
 		// Catch typos, unreadable trace files, and backend/axis conflicts
 		// (e.g. a trace whose fixed node count a NodeCounts entry cannot
@@ -151,31 +237,54 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 			continue
 		}
 		for _, n := range m.NodeCounts {
-			if _, err := factory(phy.DefaultParams(), make([]phy.Position, n), 0); err != nil {
+			// Probe with a synthesized spread layout, not n zero positions:
+			// all nodes at the origin make every link zero-distance, which a
+			// degenerate backend configuration can pass while behaving
+			// uselessly on the real deployment.
+			layout, ok := layouts[n]
+			if !ok {
+				if layout, err = probeLayout(n); err != nil {
+					return nil, err
+				}
+				layouts[n] = layout
+			}
+			if _, err := factory(phy.DefaultParams(), layout, 0); err != nil {
 				return nil, fmt.Errorf("%w: backend %q with %d nodes: %v", ErrBadSpec, b, n, err)
 			}
 		}
 	}
 
-	out := make([]Scenario, 0, len(backends)*len(m.NodeCounts)*len(degrees)*len(lossRates)*len(protocols))
+	size := len(backends) * len(m.NodeCounts) * len(degrees) * len(lossRates) *
+		len(ntxValues) * len(slacks) * len(failureRates) * len(verifiables) * len(protocols)
+	out := make([]Scenario, 0, size)
 	for _, backend := range backends {
 		for _, nodes := range m.NodeCounts {
 			for _, degree := range degrees {
 				for _, lr := range lossRates {
-					for _, proto := range protocols {
-						idx := len(out)
-						out = append(out, Scenario{
-							Index:      idx,
-							Backend:    backend,
-							Nodes:      nodes,
-							Degree:     degree,
-							LossRate:   lr,
-							Protocol:   proto,
-							NTXSharing: m.NTXSharing,
-							DestSlack:  m.DestSlack,
-							Iterations: m.Iterations,
-							Seed:       sim.DeriveSeed(m.Seed, uint64(idx)),
-						})
+					for _, ntx := range ntxValues {
+						for _, slack := range slacks {
+							for _, fr := range failureRates {
+								for _, verifiable := range verifiables {
+									for _, proto := range protocols {
+										idx := len(out)
+										out = append(out, Scenario{
+											Index:       idx,
+											Backend:     backend,
+											Nodes:       nodes,
+											Degree:      degree,
+											LossRate:    lr,
+											Protocol:    proto,
+											NTXSharing:  ntx,
+											DestSlack:   slack,
+											FailureRate: fr,
+											Verifiable:  verifiable,
+											Iterations:  m.Iterations,
+											Seed:        sim.DeriveSeed(m.Seed, uint64(idx)),
+										})
+									}
+								}
+							}
+						}
 					}
 				}
 			}
@@ -195,6 +304,11 @@ type ScenarioResult struct {
 	SuccessRate float64 `json:"successRate"`
 	// FailedRounds counts rounds in which no node reconstructed at all.
 	FailedRounds int `json:"failedRounds"`
+
+	// Cached is set by the Runner when the result was served from the result
+	// cache rather than computed. Runtime metadata: excluded from JSON, so
+	// persisted entries and JSONL output are identical either way.
+	Cached bool `json:"-"`
 }
 
 // RunScenario executes one scenario sequentially: synthesize the deployment,
@@ -205,24 +319,100 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	return runScenario(sc, backend)
+	return runScenario(sc, backend, 1)
 }
 
-// runScenario is RunScenario with the backend factory already resolved, so
-// matrix sweeps resolve each distinct spec (and parse each trace file) once
-// instead of once per cell.
-func runScenario(sc Scenario, backend phy.Factory) (ScenarioResult, error) {
-	if sc.Nodes < 6 {
-		return ScenarioResult{}, fmt.Errorf("%w: %d nodes", ErrBadSpec, sc.Nodes)
+// scenarioDeployment resolves the scenario's topology: a named fixed testbed
+// when Testbed is set, the synthesized office layout otherwise.
+func scenarioDeployment(sc Scenario) (topology.Topology, error) {
+	if sc.Testbed != "" {
+		tb, err := NamedTestbed(sc.Testbed)
+		if err != nil {
+			return topology.Topology{}, err
+		}
+		if sc.Nodes != 0 && sc.Nodes != tb.NumNodes() {
+			return topology.Topology{}, fmt.Errorf("%w: testbed %q has %d nodes, scenario says %d",
+				ErrBadSpec, sc.Testbed, tb.NumNodes(), sc.Nodes)
+		}
+		return tb, nil
 	}
+	if sc.Nodes < 6 {
+		return topology.Topology{}, fmt.Errorf("%w: %d nodes", ErrBadSpec, sc.Nodes)
+	}
+	return officeDeployment(sc.Nodes, sc.Seed)
+}
+
+// scenarioRoles draws the failure mask and source set: ⌊rate·n⌋ crashed
+// nodes from the scenario's failure stream (the initiator, node 0, never
+// crashes), and SourceCount sources (0 = all) spread across the survivors.
+func scenarioRoles(sc Scenario, n int) (failed []bool, sources []int, err error) {
+	if sc.FailureRate < 0 || sc.FailureRate >= 1 {
+		return nil, nil, fmt.Errorf("%w: failure rate %f outside [0,1)", ErrBadSpec, sc.FailureRate)
+	}
+	alive := make([]int, 0, n)
+	// Floor with an epsilon so exactly-representable products (0.58·50 = 29)
+	// don't truncate one short of the documented ⌊rate·n⌋.
+	if crash := int(math.Floor(sc.FailureRate*float64(n) + 1e-9)); crash > 0 {
+		failed = make([]bool, n)
+		rng := sim.NewRNG(sc.Seed, failureSeedStream)
+		for _, idx := range rng.Perm(n) {
+			if crash == 0 {
+				break
+			}
+			if idx == 0 {
+				continue // the initiator must stay up
+			}
+			failed[idx] = true
+			crash--
+		}
+		for i := 0; i < n; i++ {
+			if !failed[i] {
+				alive = append(alive, i)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			alive = append(alive, i)
+		}
+	}
+	srcCount := sc.SourceCount
+	if srcCount == 0 {
+		srcCount = len(alive)
+	}
+	spread, err := SpreadSources(len(alive), srcCount)
+	if err != nil {
+		return nil, nil, err
+	}
+	sources = make([]int, len(spread))
+	for i, idx := range spread {
+		sources[i] = alive[idx]
+	}
+	return failed, sources, nil
+}
+
+// trialBlock is how many Monte-Carlo trials are dispatched per fan-out batch
+// when trial-level parallelism is on: large enough to amortize pool
+// overhead, small enough to keep the per-scenario stats buffer trivial.
+const trialBlock = 256
+
+// runScenario is RunScenario with the backend factory already resolved (so
+// matrix sweeps resolve each distinct spec — and parse each trace file —
+// once instead of once per cell) and an explicit trial-level worker count.
+// Trials are independent given the immutable bootstrap, so blocks of them
+// fan across trialWorkers; per-trial stats land at their trial's index and
+// fold into the streams in trial order, which keeps the result bit-identical
+// to a sequential run for any worker count.
+func runScenario(sc Scenario, backend phy.Factory, trialWorkers int) (ScenarioResult, error) {
 	if sc.Iterations <= 0 {
 		return ScenarioResult{}, fmt.Errorf("%w: iterations %d", ErrBadSpec, sc.Iterations)
 	}
-	testbed, err := officeDeployment(sc.Nodes, sc.Seed)
+	testbed, err := scenarioDeployment(sc)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	sources, err := SpreadSources(sc.Nodes, sc.Nodes)
+	n := testbed.NumNodes()
+	sc.Nodes = n // normalize 0 under a named testbed, for reporting
+	failed, sources, err := scenarioRoles(sc, n)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
@@ -237,6 +427,8 @@ func runScenario(sc Scenario, backend phy.Factory) (ScenarioResult, error) {
 		Degree:      sc.Degree,
 		NTXSharing:  sc.NTXSharing,
 		DestSlack:   sc.DestSlack,
+		Failed:      failed,
+		Verifiable:  sc.Verifiable,
 		ChannelSeed: sc.Seed,
 	}
 	boot, err := core.RunBootstrap(cfg)
@@ -245,21 +437,48 @@ func runScenario(sc Scenario, backend phy.Factory) (ScenarioResult, error) {
 			sc.Index, sc.Nodes, sc.Protocol, sc.LossRate, err)
 	}
 
-	var lat, radio metrics.Series
+	type trialStats struct {
+		meanLatency time.Duration
+		meanRadioOn time.Duration
+		correct     int
+		nodes       int
+	}
+	var lat, radio metrics.Stream
 	okNodes, totalNodes, failedRounds := 0, 0, 0
-	for trial := 0; trial < sc.Iterations; trial++ {
-		res, err := core.RunRound(boot, uint64(trial))
+	block := make([]trialStats, trialBlock)
+	for base := 0; base < sc.Iterations; base += trialBlock {
+		count := sc.Iterations - base
+		if count > trialBlock {
+			count = trialBlock
+		}
+		err := sim.ParallelFor(count, trialWorkers, func(i int) error {
+			res, err := core.RunRound(boot, uint64(base+i))
+			if err != nil {
+				return err
+			}
+			block[i] = trialStats{
+				meanLatency: res.MeanLatency,
+				meanRadioOn: res.MeanRadioOn,
+				correct:     res.CorrectNodes,
+				nodes:       len(res.NodeOK),
+			}
+			return nil
+		})
 		if err != nil {
 			return ScenarioResult{}, err
 		}
-		if res.CorrectNodes > 0 {
-			lat.AddDuration(res.MeanLatency)
-		} else {
-			failedRounds++
+		// Fold in trial order: the streams' contents are then independent of
+		// the worker count and identical to a sequential run.
+		for i := 0; i < count; i++ {
+			if block[i].correct > 0 {
+				lat.AddDuration(block[i].meanLatency)
+			} else {
+				failedRounds++
+			}
+			radio.AddDuration(block[i].meanRadioOn)
+			okNodes += block[i].correct
+			totalNodes += block[i].nodes
 		}
-		radio.AddDuration(res.MeanRadioOn)
-		okNodes += res.CorrectNodes
-		totalNodes += len(res.NodeOK)
 	}
 	out := ScenarioResult{
 		Scenario:     sc,
@@ -277,76 +496,10 @@ func runScenario(sc Scenario, backend phy.Factory) (ScenarioResult, error) {
 	return out, nil
 }
 
-// RunMatrix expands the matrix and fans the scenarios across a worker pool
-// (workers <= 0 selects GOMAXPROCS). Results land at their scenario's index,
-// so the output — down to the last float — is identical for any worker
-// count, including 1.
-func RunMatrix(m Matrix, workers int) ([]ScenarioResult, error) {
-	scenarios, err := m.Scenarios()
-	if err != nil {
-		return nil, err
-	}
-	// Resolve each distinct backend spec once (trace files parse once per
-	// sweep, not once per cell); the map is read-only once workers start.
-	factories := make(map[string]phy.Factory)
-	for _, sc := range scenarios {
-		if _, ok := factories[sc.Backend]; !ok {
-			f, err := ParseBackend(sc.Backend)
-			if err != nil {
-				return nil, err
-			}
-			factories[sc.Backend] = f
-		}
-	}
-	results := make([]ScenarioResult, len(scenarios))
-	err = sim.ParallelFor(len(scenarios), workers, func(i int) error {
-		res, err := runScenario(scenarios[i], factories[scenarios[i].Backend])
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
-}
-
 // backendLabel names a scenario's radio backend in reports.
 func backendLabel(sc Scenario) string {
 	if sc.Backend == "" {
 		return DefaultBackend
 	}
 	return sc.Backend
-}
-
-// MatrixTable renders a sweep as an aligned text table.
-func MatrixTable(results []ScenarioResult) string {
-	var b strings.Builder
-	b.WriteString("Scenario matrix — backend × nodes × degree × loss × protocol\n")
-	fmt.Fprintf(&b, "%-5s %-10s %-6s %-7s %-6s %-6s %14s %14s %10s %7s\n",
-		"idx", "phy", "nodes", "degree", "loss", "proto", "latency (ms)", "radio-on (ms)", "success", "failed")
-	for _, r := range results {
-		sc := r.Scenario
-		fmt.Fprintf(&b, "%-5d %-10s %-6d %-7d %-6.2f %-6s %14.1f %14.1f %9.1f%% %7d\n",
-			sc.Index, backendLabel(sc), sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
-			r.LatencyMS.Mean, r.RadioOnMS.Mean, r.SuccessRate*100, r.FailedRounds)
-	}
-	return b.String()
-}
-
-// MatrixCSV renders a sweep as CSV, one line per scenario.
-func MatrixCSV(results []ScenarioResult) string {
-	var b strings.Builder
-	b.WriteString("index,backend,nodes,degree,loss_rate,protocol,latency_ms_mean,latency_ms_ci95,radio_ms_mean,radio_ms_ci95,success_rate,failed_rounds\n")
-	for _, r := range results {
-		sc := r.Scenario
-		fmt.Fprintf(&b, "%d,%s,%d,%d,%.3f,%s,%.3f,%.3f,%.3f,%.3f,%.4f,%d\n",
-			sc.Index, backendLabel(sc), sc.Nodes, sc.Degree, sc.LossRate, sc.Protocol,
-			r.LatencyMS.Mean, r.LatencyMS.CI95,
-			r.RadioOnMS.Mean, r.RadioOnMS.CI95,
-			r.SuccessRate, r.FailedRounds)
-	}
-	return b.String()
 }

@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file holds the Sink implementations the CLIs compose: a human
+// progress narrator (stderr), the aligned text table, CSV via encoding/csv,
+// and JSONL. All of them are pure stream consumers — one row out per
+// OnResult — so a million-cell sweep renders in constant memory.
+
+// ProgressSink narrates a sweep for a human watching it run: the plan at
+// OnStart, one line per completed cell, and a cache-accounting summary at
+// OnFinish. Point it at stderr so machine output on stdout stays clean.
+type ProgressSink struct {
+	W io.Writer
+
+	cells int
+	seen  int
+}
+
+// OnStart implements Sink.
+func (p *ProgressSink) OnStart(plan Plan) error {
+	p.cells = len(plan.Scenarios)
+	p.seen = 0
+	cacheNote := "cache off"
+	if plan.CacheDir != "" {
+		cacheNote = fmt.Sprintf("%d cached in %s", plan.CacheHits, plan.CacheDir)
+	}
+	_, err := fmt.Fprintf(p.W, "sweep: %d cells, %d workers, %s\n", p.cells, plan.Workers, cacheNote)
+	return err
+}
+
+// OnResult implements Sink.
+func (p *ProgressSink) OnResult(r ScenarioResult) error {
+	p.seen++
+	sc := r.Scenario
+	note := ""
+	if r.Cached {
+		note = " (cached)"
+	}
+	_, err := fmt.Fprintf(p.W, "[%d/%d] idx=%d %s n=%d deg=%d loss=%.2f %v ok=%.1f%%%s\n",
+		p.seen, p.cells, sc.Index, backendLabel(sc), sc.Nodes, sc.Degree,
+		sc.LossRate, sc.Protocol, r.SuccessRate*100, note)
+	return err
+}
+
+// OnFinish implements Sink. The "N cached, M computed" phrasing is load-
+// bearing: the CI cache round-trip asserts a warm rerun reports 0 computed.
+func (p *ProgressSink) OnFinish(sum RunSummary) error {
+	if _, err := fmt.Fprintf(p.W, "sweep finished: %d cells, %d cached, %d computed\n",
+		sum.Cells, sum.CacheHits, sum.Computed); err != nil {
+		return err
+	}
+	if sum.CacheWriteErrors > 0 {
+		if _, err := fmt.Fprintf(p.W,
+			"warning: %d results could not be persisted to the cache (they will be recomputed next run)\n",
+			sum.CacheWriteErrors); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableSink streams a sweep as the aligned text table (header at OnStart,
+// one row per result).
+type TableSink struct {
+	W io.Writer
+}
+
+// OnStart implements Sink.
+func (t *TableSink) OnStart(Plan) error {
+	if _, err := fmt.Fprintln(t.W,
+		"Scenario matrix — backend × nodes × degree × loss × ntx × slack × fail × vss × protocol"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(t.W, "%-5s %-10s %-6s %-7s %-6s %-4s %-6s %-5s %-4s %-6s %14s %14s %10s %7s\n",
+		"idx", "phy", "nodes", "degree", "loss", "ntx", "slack", "fail", "vss", "proto",
+		"latency (ms)", "radio-on (ms)", "success", "failed")
+	return err
+}
+
+// OnResult implements Sink.
+func (t *TableSink) OnResult(r ScenarioResult) error {
+	sc := r.Scenario
+	vss := "-"
+	if sc.Verifiable {
+		vss = "yes"
+	}
+	_, err := fmt.Fprintf(t.W, "%-5d %-10s %-6d %-7d %-6.2f %-4d %-6d %-5.2f %-4s %-6s %14.1f %14.1f %9.1f%% %7d\n",
+		sc.Index, backendLabel(sc), sc.Nodes, sc.Degree, sc.LossRate,
+		sc.NTXSharing, sc.DestSlack, sc.FailureRate, vss, sc.Protocol,
+		r.LatencyMS.Mean, r.RadioOnMS.Mean, r.SuccessRate*100, r.FailedRounds)
+	return err
+}
+
+// OnFinish implements Sink.
+func (t *TableSink) OnFinish(RunSummary) error { return nil }
+
+// matrixCSVHeader and matrixCSVRecord define the one CSV schema shared by
+// CSVSink and MatrixCSV.
+var matrixCSVHeader = []string{
+	"index", "backend", "testbed", "nodes", "sources", "degree", "loss_rate", "protocol",
+	"ntx_sharing", "dest_slack", "failure_rate", "verifiable",
+	"latency_ms_mean", "latency_ms_ci95", "radio_ms_mean", "radio_ms_ci95",
+	"success_rate", "failed_rounds",
+}
+
+func matrixCSVRecord(r ScenarioResult) []string {
+	sc := r.Scenario
+	return []string{
+		strconv.Itoa(sc.Index),
+		backendLabel(sc),
+		sc.Testbed,
+		strconv.Itoa(sc.Nodes),
+		strconv.Itoa(sc.SourceCount),
+		strconv.Itoa(sc.Degree),
+		fmt.Sprintf("%.3f", sc.LossRate),
+		sc.Protocol.String(),
+		strconv.Itoa(sc.NTXSharing),
+		strconv.Itoa(sc.DestSlack),
+		fmt.Sprintf("%.3f", sc.FailureRate),
+		strconv.FormatBool(sc.Verifiable),
+		fmt.Sprintf("%.3f", r.LatencyMS.Mean),
+		fmt.Sprintf("%.3f", r.LatencyMS.CI95),
+		fmt.Sprintf("%.3f", r.RadioOnMS.Mean),
+		fmt.Sprintf("%.3f", r.RadioOnMS.CI95),
+		fmt.Sprintf("%.4f", r.SuccessRate),
+		strconv.Itoa(r.FailedRounds),
+	}
+}
+
+// CSVSink streams a sweep as RFC-4180 CSV via encoding/csv, so fields that
+// contain commas or quotes — a trace backend spec like
+// "trace:path,with,commas" — are quoted instead of corrupting the row.
+type CSVSink struct {
+	W io.Writer
+
+	w *csv.Writer
+}
+
+// OnStart implements Sink.
+func (c *CSVSink) OnStart(Plan) error {
+	c.w = csv.NewWriter(c.W)
+	return c.w.Write(matrixCSVHeader)
+}
+
+// OnResult implements Sink.
+func (c *CSVSink) OnResult(r ScenarioResult) error {
+	return c.w.Write(matrixCSVRecord(r))
+}
+
+// OnFinish implements Sink.
+func (c *CSVSink) OnFinish(RunSummary) error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// JSONLSink streams a sweep as JSON Lines: one ScenarioResult object per
+// line, parseable incrementally while the sweep is still running.
+type JSONLSink struct {
+	W io.Writer
+}
+
+// OnStart implements Sink.
+func (j *JSONLSink) OnStart(Plan) error { return nil }
+
+// OnResult implements Sink.
+func (j *JSONLSink) OnResult(r ScenarioResult) error {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = j.W.Write(raw)
+	return err
+}
+
+// OnFinish implements Sink.
+func (j *JSONLSink) OnFinish(RunSummary) error { return nil }
+
+// renderWith drives a sink over an already-computed result slice — the batch
+// adapters MatrixTable and MatrixCSV are this over a strings.Builder.
+func renderWith(s Sink, results []ScenarioResult) error {
+	if err := s.OnStart(Plan{Scenarios: scenariosOf(results)}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := s.OnResult(r); err != nil {
+			return err
+		}
+	}
+	return s.OnFinish(RunSummary{Cells: len(results)})
+}
+
+func scenariosOf(results []ScenarioResult) []Scenario {
+	out := make([]Scenario, len(results))
+	for i, r := range results {
+		out[i] = r.Scenario
+	}
+	return out
+}
+
+// MatrixTable renders a sweep as an aligned text table.
+func MatrixTable(results []ScenarioResult) string {
+	var b strings.Builder
+	if err := renderWith(&TableSink{W: &b}, results); err != nil {
+		// strings.Builder writes cannot fail; nothing else errors.
+		panic(err)
+	}
+	return b.String()
+}
+
+// MatrixCSV renders a sweep as CSV, one record per scenario.
+func MatrixCSV(results []ScenarioResult) string {
+	var b strings.Builder
+	if err := renderWith(&CSVSink{W: &b}, results); err != nil {
+		panic(err)
+	}
+	return b.String()
+}

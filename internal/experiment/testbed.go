@@ -1,0 +1,28 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"iotmpc/internal/topology"
+)
+
+// NamedTestbed resolves the fixed deployments scenarios can name via
+// Scenario.Testbed (and cmd/mpcsim via -testbed): the two paper facilities
+// plus the synthetic grid and line layouts the CLI has always offered.
+// Names are case-insensitive.
+func NamedTestbed(name string) (topology.Topology, error) {
+	switch strings.ToLower(name) {
+	case "flocklab":
+		return topology.FlockLab(), nil
+	case "dcube":
+		return topology.DCube(), nil
+	case "grid":
+		return topology.Grid(4, 5, 30)
+	case "line":
+		return topology.Line(10, 35)
+	default:
+		return topology.Topology{}, fmt.Errorf("%w: unknown testbed %q (want flocklab, dcube, grid, line)",
+			ErrBadSpec, name)
+	}
+}

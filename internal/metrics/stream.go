@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Stream folds samples online in bounded memory, replacing Series in the
+// experiment hot path. Small runs stay exact; big runs switch to sketches:
+//
+//   - While the sample count is at most the exact limit, every sample is
+//     buffered in an embedded Series and Summarize delegates to it, so the
+//     summary is bit-identical to what the buffered Series would report —
+//     this keeps paper-default sweeps byte-compatible with earlier runners.
+//   - Past the limit the buffer is released and the Stream serves summaries
+//     from its online state: Welford mean/variance, exact min/max, and P²
+//     quantile sketches for the median and P95. Memory is O(1) from then on
+//     regardless of the iteration count.
+//
+// The switchover is the documented DefaultExactLimit (overridable per Stream
+// via SetExactLimit before the first sample). Welford and the sketches are
+// fed from the first sample, so the post-switchover state reflects the full
+// history, not just the overflow.
+//
+// The zero value is ready to use.
+type Stream struct {
+	limit   int  // 0 selects DefaultExactLimit
+	spilled bool // buffer released; sketch mode
+
+	exact Series // buffered samples while n <= limit
+
+	n        int
+	mean, m2 float64 // Welford accumulators
+	min, max float64
+
+	p50, p95 p2Sketch
+}
+
+// DefaultExactLimit is the sample count up to which a Stream buffers samples
+// and reports exact summaries (identical to Series). Past it, summaries come
+// from the online sketches. 4096 float64s is 32 KiB — far above the paper's
+// 2000-iteration cells, so default sweeps stay exact; the sketch mode is for
+// the "as many iterations as you like" regime.
+const DefaultExactLimit = 4096
+
+// SetExactLimit overrides the exact/sketch switchover for this Stream. It
+// must be called before the first Add; limit < 1 forces sketch mode from the
+// first overflow check (the first sample still seeds min/max and sketches).
+func (s *Stream) SetExactLimit(limit int) {
+	if s.n == 0 {
+		s.limit = limit
+		if limit < 1 {
+			s.limit = -1
+		}
+	}
+}
+
+func (s *Stream) exactLimit() int {
+	if s.limit == 0 {
+		return DefaultExactLimit
+	}
+	return s.limit
+}
+
+// Add folds one sample into the stream.
+func (s *Stream) Add(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+		s.p50.init(0.5)
+		s.p95.init(0.95)
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	// Welford: numerically stable single-pass mean/variance.
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	s.p50.add(v)
+	s.p95.add(v)
+
+	if !s.spilled {
+		s.exact.Add(v)
+		if s.n > s.exactLimit() {
+			s.spilled = true
+			s.exact = Series{} // release the buffer; sketches carry on
+		}
+	}
+}
+
+// AddDuration folds a duration sample in milliseconds — the unit the paper's
+// figures use.
+func (s *Stream) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Len returns the number of samples folded so far.
+func (s *Stream) Len() int { return s.n }
+
+// Exact reports whether the stream is still in exact (buffered) mode.
+func (s *Stream) Exact() bool { return !s.spilled }
+
+// Mean returns the running mean.
+func (s *Stream) Mean() (float64, error) {
+	if s.n == 0 {
+		return 0, ErrNoSamples
+	}
+	if !s.spilled {
+		return s.exact.Mean()
+	}
+	return s.mean, nil
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Stream) StdDev() (float64, error) {
+	if s.n < 2 {
+		return 0, ErrNoSamples
+	}
+	if !s.spilled {
+		return s.exact.StdDev()
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1)), nil
+}
+
+// Summarize reports the stream's Summary: exact (identical to Series) while
+// in buffered mode, sketch-backed after the switchover.
+func (s *Stream) Summarize() (Summary, error) {
+	if s.n == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	if !s.spilled {
+		return s.exact.Summarize()
+	}
+	ci := 0.0
+	if s.n >= 2 {
+		sd := math.Sqrt(s.m2 / float64(s.n-1))
+		ci = 1.96 * sd / math.Sqrt(float64(s.n))
+	}
+	return Summary{
+		N:      s.n,
+		Mean:   s.mean,
+		Median: s.p50.quantile(),
+		P95:    s.p95.quantile(),
+		Min:    s.min,
+		Max:    s.max,
+		CI95:   ci,
+	}, nil
+}
+
+// p2Sketch is the P² (Jain & Chlamtac 1985) single-quantile estimator: five
+// markers whose heights approximate the p-quantile without storing samples.
+// Until five samples arrive it holds them verbatim and reports the exact
+// interpolated quantile, so tiny streams degrade gracefully.
+type p2Sketch struct {
+	p     float64
+	count int
+	q     [5]float64 // marker heights (first 5 samples verbatim until primed)
+	pos   [5]float64 // marker positions
+	want  [5]float64 // desired positions
+	inc   [5]float64 // desired-position increments
+}
+
+func (k *p2Sketch) init(p float64) {
+	*k = p2Sketch{p: p}
+}
+
+func (k *p2Sketch) add(x float64) {
+	if k.count < 5 {
+		k.q[k.count] = x
+		k.count++
+		if k.count == 5 {
+			sort.Float64s(k.q[:])
+			p := k.p
+			k.pos = [5]float64{1, 2, 3, 4, 5}
+			k.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			k.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+	k.count++
+
+	// Locate the cell and clamp the extremes.
+	var cell int
+	switch {
+	case x < k.q[0]:
+		k.q[0] = x
+		cell = 0
+	case x >= k.q[4]:
+		if x > k.q[4] {
+			k.q[4] = x
+		}
+		cell = 3
+	default:
+		for cell = 0; cell < 3; cell++ {
+			if x < k.q[cell+1] {
+				break
+			}
+		}
+	}
+	for i := cell + 1; i < 5; i++ {
+		k.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		k.want[i] += k.inc[i]
+	}
+
+	// Nudge interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := k.want[i] - k.pos[i]
+		if (d >= 1 && k.pos[i+1]-k.pos[i] > 1) || (d <= -1 && k.pos[i-1]-k.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			if h := k.parabolic(i, sign); k.q[i-1] < h && h < k.q[i+1] {
+				k.q[i] = h
+			} else {
+				k.q[i] = k.linear(i, sign)
+			}
+			k.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is P²'s piecewise-parabolic height adjustment for marker i.
+func (k *p2Sketch) parabolic(i int, sign float64) float64 {
+	up := (k.pos[i] - k.pos[i-1] + sign) * (k.q[i+1] - k.q[i]) / (k.pos[i+1] - k.pos[i])
+	down := (k.pos[i+1] - k.pos[i] - sign) * (k.q[i] - k.q[i-1]) / (k.pos[i] - k.pos[i-1])
+	return k.q[i] + sign/(k.pos[i+1]-k.pos[i-1])*(up+down)
+}
+
+// linear is the fallback height adjustment when the parabola would cross a
+// neighboring marker.
+func (k *p2Sketch) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return k.q[i] + sign*(k.q[j]-k.q[i])/(k.pos[j]-k.pos[i])
+}
+
+// quantile reports the current estimate: exact over the held samples while
+// fewer than five have arrived, the center marker height afterwards.
+func (k *p2Sketch) quantile() float64 {
+	if k.count == 0 {
+		return 0
+	}
+	if k.count < 5 {
+		held := append([]float64(nil), k.q[:k.count]...)
+		sort.Float64s(held)
+		if len(held) == 1 {
+			return held[0]
+		}
+		pos := k.p * float64(len(held)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return held[lo]
+		}
+		frac := pos - float64(lo)
+		return held[lo]*(1-frac) + held[hi]*frac
+	}
+	return k.q[2]
+}

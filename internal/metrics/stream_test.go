@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStreamExactModeMatchesSeries is the compatibility bar: while under the
+// exact limit, a Stream's summary must be bit-identical to the buffered
+// Series it replaces — this is what keeps paper-default sweeps byte-stable
+// across the runner redesign.
+func TestStreamExactModeMatchesSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var st Stream
+	var se Series
+	for i := 0; i < 2000; i++ {
+		v := rng.NormFloat64()*25 + 180
+		st.Add(v)
+		se.Add(v)
+	}
+	if !st.Exact() {
+		t.Fatal("2000 samples spilled below the default exact limit")
+	}
+	got, err := st.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := se.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("exact-mode summary diverged from Series:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// rankError measures sketch quality the way sketches are specified: the
+// fraction of samples at or below the estimate, versus the target quantile.
+// Unlike value error, it is meaningful on gapped (bimodal) distributions.
+func rankError(samples []float64, estimate, q float64) float64 {
+	atOrBelow := 0
+	for _, v := range samples {
+		if v <= estimate {
+			atOrBelow++
+		}
+	}
+	return math.Abs(float64(atOrBelow)/float64(len(samples)) - q)
+}
+
+// streamOver folds samples into a sketch-mode stream (limit 1) and returns
+// its summary plus the exact Series summary for comparison.
+func streamOver(t *testing.T, samples []float64) (sketch, exact Summary) {
+	t.Helper()
+	var st Stream
+	st.SetExactLimit(1)
+	var se Series
+	for _, v := range samples {
+		st.Add(v)
+		se.Add(v)
+	}
+	if st.Exact() {
+		t.Fatal("stream did not switch to sketch mode")
+	}
+	var err error
+	if sketch, err = st.Summarize(); err != nil {
+		t.Fatal(err)
+	}
+	if exact, err = se.Summarize(); err != nil {
+		t.Fatal(err)
+	}
+	return sketch, exact
+}
+
+// checkAgreement enforces the documented sketch tolerances against the exact
+// summary: mean within 1e-9 relative (Welford is exact up to FP noise), CI95
+// within 1e-6 relative, min/max exact, and quantile estimates within 0.03
+// rank error.
+func checkAgreement(t *testing.T, name string, samples []float64, sketch, exact Summary) {
+	t.Helper()
+	relErr := func(got, want float64) float64 {
+		if want == 0 {
+			return math.Abs(got)
+		}
+		return math.Abs(got-want) / math.Abs(want)
+	}
+	if sketch.N != exact.N {
+		t.Errorf("%s: N = %d, want %d", name, sketch.N, exact.N)
+	}
+	if relErr(sketch.Mean, exact.Mean) > 1e-9 {
+		t.Errorf("%s: mean %v vs exact %v", name, sketch.Mean, exact.Mean)
+	}
+	if relErr(sketch.CI95, exact.CI95) > 1e-6 {
+		t.Errorf("%s: ci95 %v vs exact %v", name, sketch.CI95, exact.CI95)
+	}
+	if sketch.Min != exact.Min || sketch.Max != exact.Max {
+		t.Errorf("%s: min/max %v/%v vs exact %v/%v",
+			name, sketch.Min, sketch.Max, exact.Min, exact.Max)
+	}
+	if re := rankError(samples, sketch.Median, 0.5); re > 0.03 {
+		t.Errorf("%s: median %v rank error %.4f > 0.03 (exact median %v)",
+			name, sketch.Median, re, exact.Median)
+	}
+	if re := rankError(samples, sketch.P95, 0.95); re > 0.03 {
+		t.Errorf("%s: p95 %v rank error %.4f > 0.03 (exact p95 %v)",
+			name, sketch.P95, re, exact.P95)
+	}
+}
+
+func TestStreamSketchBimodal(t *testing.T) {
+	// Two well-separated modes — the adversarial case for interpolating
+	// estimators, since the median sits in a sample-free gap.
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		if rng.Intn(2) == 0 {
+			samples[i] = rng.NormFloat64() + 10
+		} else {
+			samples[i] = rng.NormFloat64() + 100
+		}
+	}
+	sketch, exact := streamOver(t, samples)
+	checkAgreement(t, "bimodal", samples, sketch, exact)
+}
+
+func TestStreamSketchHeavyTail(t *testing.T) {
+	// Lognormal with sigma 2: the p95 sits far from the body and the max is
+	// orders of magnitude beyond it.
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	sketch, exact := streamOver(t, samples)
+	checkAgreement(t, "heavy-tail", samples, sketch, exact)
+}
+
+func TestStreamSketchConstant(t *testing.T) {
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = 42.5
+	}
+	sketch, exact := streamOver(t, samples)
+	if sketch != exact {
+		t.Fatalf("constant distribution must be exact in sketch mode:\n got %+v\nwant %+v",
+			sketch, exact)
+	}
+}
+
+func TestStreamTinyCounts(t *testing.T) {
+	// Below five samples the sketches hold samples verbatim, so even a
+	// sketch-mode stream reports exact quantiles.
+	var st Stream
+	st.SetExactLimit(1)
+	for _, v := range []float64{3, 1, 2} {
+		st.Add(v)
+	}
+	sum, err := st.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Median != 2 || sum.Min != 1 || sum.Max != 3 {
+		t.Fatalf("tiny stream summary: %+v", sum)
+	}
+}
+
+func TestStreamEmptyAndDurations(t *testing.T) {
+	var st Stream
+	if _, err := st.Summarize(); err == nil {
+		t.Fatal("empty stream summarized without error")
+	}
+	if _, err := st.Mean(); err == nil {
+		t.Fatal("empty stream mean without error")
+	}
+	st.AddDuration(1500 * time.Millisecond)
+	m, err := st.Mean()
+	if err != nil || m != 1500 {
+		t.Fatalf("duration fold: %v %v", m, err)
+	}
+}
+
+func TestStreamSketchSingleSampleCI(t *testing.T) {
+	// A spilled stream with one sample must report CI95 0, not NaN (the
+	// n-1 divisor needs the same n>=2 guard the exact path has).
+	var st Stream
+	st.SetExactLimit(0)
+	st.Add(7)
+	sum, err := st.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Exact() {
+		t.Fatal("limit 0 stream still exact")
+	}
+	if sum.CI95 != 0 || math.IsNaN(sum.CI95) {
+		t.Fatalf("one-sample CI95 = %v, want 0", sum.CI95)
+	}
+	if sum.Mean != 7 || sum.Median != 7 || sum.Min != 7 || sum.Max != 7 {
+		t.Fatalf("one-sample summary: %+v", sum)
+	}
+}
+
+func TestStreamSwitchoverReflectsFullHistory(t *testing.T) {
+	// Min/max/mean after the spill must cover pre-spill samples too.
+	var st Stream
+	st.SetExactLimit(10)
+	for i := 1; i <= 100; i++ {
+		st.Add(float64(i))
+	}
+	if st.Exact() {
+		t.Fatal("limit 10 did not spill at 100 samples")
+	}
+	sum, err := st.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Min != 1 || sum.Max != 100 {
+		t.Fatalf("min/max lost across switchover: %+v", sum)
+	}
+	if math.Abs(sum.Mean-50.5) > 1e-12 {
+		t.Fatalf("mean %v, want 50.5", sum.Mean)
+	}
+}
