@@ -21,6 +21,7 @@
 //	experiments -panel matrix -nodes 10 -phy trace:testbed10 -loss 0.0
 //	experiments -panel matrix -nodes 15,25 -fail 0.0,0.1,0.2          # crash injection axis
 //	experiments -panel matrix -nodes 20 -verifiable false,true        # VSS overhead axis
+//	experiments -panel matrix -nodes 20 -veclen 0,4,8 -out jsonl      # multi-sensor batched-sealing axis
 //	experiments -panel matrix -nodes 15,25,40 -iters 2000 -cache ~/.iotmpc-cache -progress
 //	experiments -panel matrix -nodes 20 -out jsonl | jq .successRate
 package main
@@ -47,6 +48,7 @@ func main() {
 type matrixFlags struct {
 	nodes, degrees, loss, phys   string
 	ntx, slack, fail, verifiable string
+	veclen                       string
 	iters                        int
 	seed                         int64
 	workers                      int
@@ -76,6 +78,8 @@ func run(args []string) error {
 	fs.StringVar(&mf.fail, "fail", "0", "matrix axis: node crash fractions in [0,1)")
 	fs.StringVar(&mf.verifiable, "verifiable", "false",
 		"matrix axis: Feldman-VSS share verification (comma-separated bools)")
+	fs.StringVar(&mf.veclen, "veclen", "0",
+		"matrix axis: per-source reading-vector lengths (0: scalar round; L seals one 8·L-byte vector + one MIC per destination)")
 	fs.StringVar(&mf.cacheDir, "cache", "",
 		"matrix: content-addressed result cache directory (repeated sweeps skip cached cells)")
 	fs.BoolVar(&mf.progress, "progress", false, "matrix: narrate per-cell progress on stderr")
@@ -99,7 +103,7 @@ func run(args []string) error {
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "workers", "nodes", "degrees", "loss", "phy",
-			"ntx", "slack", "fail", "verifiable", "cache", "progress", "out":
+			"ntx", "slack", "fail", "verifiable", "veclen", "cache", "progress", "out":
 			misused = append(misused, "-"+f.Name)
 		}
 	})
@@ -237,6 +241,10 @@ func runMatrix(mf matrixFlags) error {
 	if err != nil {
 		return fmt.Errorf("-verifiable: %w", err)
 	}
+	vectorLens, err := parseInts(mf.veclen)
+	if err != nil {
+		return fmt.Errorf("-veclen: %w", err)
+	}
 	m := experiment.Matrix{
 		Backends:     parseList(mf.phys),
 		NodeCounts:   nodeCounts,
@@ -246,6 +254,7 @@ func runMatrix(mf matrixFlags) error {
 		DestSlacks:   slacks,
 		FailureRates: failureRates,
 		Verifiable:   verifiables,
+		VectorLens:   vectorLens,
 		Iterations:   mf.iters,
 		Seed:         mf.seed,
 	}

@@ -51,10 +51,12 @@ func run(args []string) error {
 		degree      = fs.Int("degree", 0, "polynomial degree k (0: n/3)")
 		ntx         = fs.Int("ntx", 0, "S4 sharing NTX (0: 6)")
 		slack       = fs.Int("slack", 1, "extra destinations beyond k+1 (S4 fault tolerance)")
-		iters       = fs.Int("iters", 20, "Monte-Carlo iterations")
-		workers     = fs.Int("workers", 1, "iteration worker goroutines (0: GOMAXPROCS)")
-		seed        = fs.Int64("seed", 1, "randomness seed")
-		loss        = fs.Float64("loss", experiment.DefaultLossRate,
+		veclen      = fs.Int("veclen", 0,
+			"per-source reading-vector length L (0: scalar; L seals one 8·L-byte vector + one MIC per destination)")
+		iters   = fs.Int("iters", 20, "Monte-Carlo iterations")
+		workers = fs.Int("workers", 1, "iteration worker goroutines (0: GOMAXPROCS)")
+		seed    = fs.Int64("seed", 1, "randomness seed")
+		loss    = fs.Float64("loss", experiment.DefaultLossRate,
 			"interference burst probability in [0,1)")
 		phySpec = fs.String("phy", "logdist",
 			"radio backend: logdist, unitdisk[:R[:G]], or trace:<name-or-file>")
@@ -108,7 +110,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runHE(testbed, backend, srcs, *iters, *seed, *loss, *verbose)
+		return runHE(testbed, backend, srcs, *veclen, *iters, *seed, *loss, *verbose)
 	}
 	proto, err := pickProtocol(*protoName)
 	if err != nil {
@@ -123,7 +125,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runDirect(testbed, backend, proto, srcs, *degree, *ntx, *slack,
+		return runDirect(testbed, backend, proto, srcs, *degree, *ntx, *slack, *veclen,
 			*iters, *workers, *seed, *loss, *verbose, *dumpTrace)
 	}
 
@@ -140,6 +142,7 @@ func run(args []string) error {
 		Protocol:    proto,
 		NTXSharing:  *ntx,
 		DestSlack:   *slack,
+		VectorLen:   *veclen,
 		Iterations:  *iters,
 		Seed:        *seed,
 	}
@@ -184,12 +187,17 @@ func run(args []string) error {
 		Degree:     *degree,
 		NTXSharing: *ntx,
 		DestSlack:  *slack,
+		VectorLen:  *veclen,
 	}.Normalized()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("testbed=%s nodes=%d protocol=%v sources=%d degree=%d ntx(S4)=%d loss=%.2f%s\n",
-		testbed.Name, n, proto, srcCount, norm.Degree, norm.NTXSharing, *loss, cachedNote)
+	vecNote := ""
+	if norm.VectorLen > 0 {
+		vecNote = fmt.Sprintf(" veclen=%d", norm.VectorLen)
+	}
+	fmt.Printf("testbed=%s nodes=%d protocol=%v sources=%d degree=%d ntx(S4)=%d loss=%.2f%s%s\n",
+		testbed.Name, n, proto, srcCount, norm.Degree, norm.NTXSharing, *loss, vecNote, cachedNote)
 	printSummary(r.LatencyMS, r.RadioOnMS)
 	fmt.Printf("success: %.2f%% of node-rounds obtained the correct aggregate (%d/%d rounds failed outright)\n",
 		r.SuccessRate*100, r.FailedRounds, *iters)
@@ -207,7 +215,7 @@ func printSummary(lat, radio metrics.Summary) {
 // bootstrap in hand so it can print the normalized configuration and the
 // first iteration's event trace, and prints every trial as it lands.
 func runDirect(testbed topology.Topology, backend phy.Factory, proto core.Protocol,
-	srcs []int, degree, ntx, slack, iters, workers int, seed int64, loss float64,
+	srcs []int, degree, ntx, slack, veclen, iters, workers int, seed int64, loss float64,
 	verbose, dumpTrace bool) error {
 	params := phy.DefaultParams()
 	params.InterferenceBurstProb = loss
@@ -220,6 +228,7 @@ func runDirect(testbed topology.Topology, backend phy.Factory, proto core.Protoc
 		Degree:      degree,
 		NTXSharing:  ntx,
 		DestSlack:   slack,
+		VectorLen:   veclen,
 		ChannelSeed: seed,
 	}
 	boot, err := core.RunBootstrap(cfg)
@@ -228,8 +237,12 @@ func runDirect(testbed topology.Topology, backend phy.Factory, proto core.Protoc
 	}
 	n := testbed.NumNodes()
 	norm := boot.Config()
-	fmt.Printf("testbed=%s nodes=%d protocol=%v sources=%d degree=%d ntx(S4)=%d ntxFull(S3)=%d\n",
-		testbed.Name, n, proto, len(srcs), norm.Degree, norm.NTXSharing, boot.NTXFull)
+	vecNote := ""
+	if norm.VectorLen > 0 {
+		vecNote = fmt.Sprintf(" veclen=%d", norm.VectorLen)
+	}
+	fmt.Printf("testbed=%s nodes=%d protocol=%v sources=%d degree=%d ntx(S4)=%d ntxFull(S3)=%d%s\n",
+		testbed.Name, n, proto, len(srcs), norm.Degree, norm.NTXSharing, boot.NTXFull, vecNote)
 	if proto == core.S4 {
 		fmt.Printf("destination set (|D|=%d): %v\n", len(boot.Dests), boot.Dests)
 	}
@@ -317,7 +330,7 @@ func runDirect(testbed topology.Topology, backend phy.Factory, proto core.Protoc
 // runHE executes the Paillier baseline instead of an SSS variant. It honors
 // -loss the same way the SSS paths do, so HE-vs-S4 comparisons at a given
 // interference level are apples to apples.
-func runHE(testbed topology.Topology, backend phy.Factory, sources []int, iters int, seed int64, loss float64, verbose bool) error {
+func runHE(testbed topology.Topology, backend phy.Factory, sources []int, veclen, iters int, seed int64, loss float64, verbose bool) error {
 	params := phy.DefaultParams()
 	params.InterferenceBurstProb = loss
 	cfg := hepda.Config{
@@ -325,10 +338,15 @@ func runHE(testbed topology.Topology, backend phy.Factory, sources []int, iters 
 		PHY:         params,
 		Backend:     backend,
 		Sources:     sources,
+		VectorLen:   veclen,
 		ChannelSeed: seed,
 	}
-	fmt.Printf("testbed=%s nodes=%d protocol=HE (Paillier 2048-bit model) sources=%d\n",
-		testbed.Name, testbed.NumNodes(), len(sources))
+	vecNote := ""
+	if veclen > 0 {
+		vecNote = fmt.Sprintf(" veclen=%d", veclen)
+	}
+	fmt.Printf("testbed=%s nodes=%d protocol=HE (Paillier 2048-bit model) sources=%d%s\n",
+		testbed.Name, testbed.NumNodes(), len(sources), vecNote)
 	var lat, radio metrics.Stream
 	correct := 0
 	for trial := 0; trial < iters; trial++ {

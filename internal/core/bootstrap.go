@@ -115,7 +115,7 @@ func (b *Bootstrap) deriveNTXFull() error {
 				Initiator:    b.cfg.Initiator,
 				NTX:          ntx,
 				Items:        items,
-				PayloadBytes: sumPayloadBytes,
+				PayloadBytes: sumPayloadBytes(b.cfg.effVectorLen()),
 			}, rng, nil, nil)
 			if err != nil {
 				return err
@@ -151,7 +151,7 @@ func (b *Bootstrap) deriveDests() error {
 			Initiator:    b.cfg.Initiator,
 			NTX:          b.cfg.NTXSharing,
 			Items:        items,
-			PayloadBytes: sharePayloadBytes,
+			PayloadBytes: sharePayloadBytes(b.cfg.effVectorLen()),
 		}, rng, nil, nil)
 		if err != nil {
 			return err

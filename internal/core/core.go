@@ -119,6 +119,14 @@ type Config struct {
 	// hardens the semi-honest model at a quantifiable latency/radio cost
 	// (see BenchmarkAblationVerification).
 	Verifiable bool
+	// VectorLen is the per-source reading vector length L (multi-sensor
+	// workloads): each source shares L secrets per round and ships ONE
+	// sealed vector packet of 8·L bytes + one MIC per destination, instead
+	// of L scalar packets. 0 selects the scalar single-reading round (the
+	// historical behavior; identical to VectorLen 1 in every reported
+	// metric). Bounded by MaxVectorLen so a sub-slot stays one 802.15.4
+	// frame.
+	VectorLen int
 }
 
 // Normalized returns the configuration with defaults filled (degree ⌊n/3⌋,
@@ -187,6 +195,13 @@ func (c Config) normalized() (Config, error) {
 			return c, fmt.Errorf("%w: initiator %d is marked failed", ErrBadConfig, c.Initiator)
 		}
 	}
+	if c.VectorLen < 0 {
+		return c, fmt.Errorf("%w: negative vector length %d", ErrBadConfig, c.VectorLen)
+	}
+	if c.VectorLen > MaxVectorLen {
+		return c, fmt.Errorf("%w: vector length %d exceeds %d (8·L+%dB MIC must fit one %dB frame)",
+			ErrBadConfig, c.VectorLen, MaxVectorLen, seckey.TagSize, phy.MaxPSDU)
+	}
 	if c.CPU == (CPUModel{}) {
 		c.CPU = DefaultCPUModel()
 	}
@@ -218,15 +233,35 @@ func (c Config) buildRadio() (phy.Radio, error) {
 // (round counter, chain position, owner id) plus the value.
 const (
 	headerBytes = 9
-	// sharePayloadBytes is the sharing-phase sub-slot payload: header +
-	// AES-CTR ciphertext of the share + MIC-32.
-	sharePayloadBytes = headerBytes + seckey.SealedShareSize
-	// sumPayloadBytes is the reconstruction-phase payload: header + plain
-	// 8-byte sum + 2-byte contribution count (reconstruction runs in
-	// plaintext, as in the paper).
-	sumPayloadBytes = headerBytes + 8 + 2
 	// commitPayloadBytes carries one 512-bit Feldman commitment coefficient
 	// in the verifiable mode's preliminary chain. 64B + header fits one
 	// 802.15.4 frame.
 	commitPayloadBytes = headerBytes + 64
 )
+
+// MaxVectorLen is the largest Config.VectorLen a sharing sub-slot can carry:
+// header + 8·L ciphertext + MIC-32 must fit one 802.15.4 PSDU.
+const MaxVectorLen = (phy.MaxPSDU - headerBytes - seckey.TagSize) / 8
+
+// sharePayloadBytes is the sharing-phase sub-slot payload for a vecLen-
+// element reading vector: header + AES-CTR ciphertext of the packed vector +
+// one MIC-32 for the whole vector. vecLen 1 is the historical scalar size.
+func sharePayloadBytes(vecLen int) int {
+	return headerBytes + seckey.SealedVectorSize(vecLen)
+}
+
+// sumPayloadBytes is the reconstruction-phase payload: header + vecLen plain
+// 8-byte sums + 2-byte contribution count (reconstruction runs in plaintext,
+// as in the paper).
+func sumPayloadBytes(vecLen int) int {
+	return headerBytes + 8*vecLen + 2
+}
+
+// effVectorLen is the round's effective vector length: VectorLen 0 (the
+// scalar default) behaves as length 1.
+func (c Config) effVectorLen() int {
+	if c.VectorLen > 0 {
+		return c.VectorLen
+	}
+	return 1
+}

@@ -12,6 +12,12 @@ type CPUModel struct {
 	SealPacket time.Duration
 	// OpenPacket is the cost to verify+decrypt one share packet.
 	OpenPacket time.Duration
+	// SealElement is the marginal cost per additional 8-byte element when a
+	// vector packet is sealed: more CTR keystream and CMAC blocks, but the
+	// per-packet setup (subkeys, nonce, tag truncation) is paid once.
+	SealElement time.Duration
+	// OpenElement is the marginal per-element cost on the open/verify path.
+	OpenElement time.Duration
 	// FieldMul is the cost of one GF(p) multiplication in software.
 	FieldMul time.Duration
 	// PolyEvalPerTerm is the per-coefficient cost of a Horner step.
@@ -26,10 +32,24 @@ func DefaultCPUModel() CPUModel {
 	return CPUModel{
 		SealPacket:      8 * time.Microsecond,
 		OpenPacket:      8 * time.Microsecond,
+		SealElement:     1 * time.Microsecond,
+		OpenElement:     1 * time.Microsecond,
 		FieldMul:        2 * time.Microsecond,
 		PolyEvalPerTerm: 3 * time.Microsecond,
 		VSSExpTerm:      3 * time.Millisecond,
 	}
+}
+
+// SealVectorCost is the cost to seal one vector packet of vecLen elements:
+// the per-packet base plus the marginal keystream/CMAC work. At vecLen 1 it
+// equals SealPacket exactly, so scalar rounds are costed as before.
+func (m CPUModel) SealVectorCost(vecLen int) time.Duration {
+	return m.SealPacket + time.Duration(vecLen-1)*m.SealElement
+}
+
+// OpenVectorCost is SealVectorCost's verify+decrypt counterpart.
+func (m CPUModel) OpenVectorCost(vecLen int) time.Duration {
+	return m.OpenPacket + time.Duration(vecLen-1)*m.OpenElement
 }
 
 // VSSCommit is a dealer's cost to commit to a degree-k polynomial: one group
@@ -51,9 +71,24 @@ func (m CPUModel) ShareGeneration(degree, dests int) time.Duration {
 	return evalCost + time.Duration(dests)*m.SealPacket
 }
 
+// ShareGenerationVec is ShareGeneration for a vecLen-coordinate reading: one
+// polynomial evaluation chain per coordinate per destination, but only ONE
+// sealed packet per destination. At vecLen 1 it equals ShareGeneration
+// exactly.
+func (m CPUModel) ShareGenerationVec(degree, dests, vecLen int) time.Duration {
+	evalCost := time.Duration(degree+1) * m.PolyEvalPerTerm * time.Duration(dests) * time.Duration(vecLen)
+	return evalCost + time.Duration(dests)*m.SealVectorCost(vecLen)
+}
+
 // SumAbsorb is the cost for a destination to open and accumulate s shares.
 func (m CPUModel) SumAbsorb(shares int) time.Duration {
 	return time.Duration(shares) * (m.OpenPacket + m.FieldMul/2)
+}
+
+// SumAbsorbVec is the cost for a destination to open s vector packets and
+// accumulate s·vecLen share values. At vecLen 1 it equals SumAbsorb exactly.
+func (m CPUModel) SumAbsorbVec(shares, vecLen int) time.Duration {
+	return time.Duration(shares) * (m.OpenVectorCost(vecLen) + time.Duration(vecLen)*(m.FieldMul/2))
 }
 
 // Interpolation is the cost of Lagrange reconstruction from k+1 points:
@@ -61,5 +96,15 @@ func (m CPUModel) SumAbsorb(shares int) time.Duration {
 // Fermat ladder makes ~61·2 multiplications each.
 func (m CPUModel) Interpolation(points int) time.Duration {
 	muls := points*points + points*122
+	return time.Duration(muls) * m.FieldMul
+}
+
+// InterpolationVec is the cost of reconstructing a vecLen-coordinate
+// aggregate: the Lagrange basis (with its inversions) is computed once for
+// the point set and applied to every coordinate, so only the O(points²)
+// multiply-accumulate scales with the vector length. At vecLen 1 it equals
+// Interpolation exactly.
+func (m CPUModel) InterpolationVec(points, vecLen int) time.Duration {
+	muls := vecLen*points*points + points*122
 	return time.Duration(muls) * m.FieldMul
 }

@@ -17,11 +17,20 @@ import (
 // RoundResult reports one full private-aggregation round.
 type RoundResult struct {
 	// Expected is the plaintext Σ secrets of the sources (ground truth the
-	// simulation can see; the nodes never do).
+	// simulation can see; the nodes never do). For vector rounds this is
+	// coordinate 0; ExpectedVec holds the full vector.
 	Expected field.Element
+	// ExpectedVec is the expected aggregate for every reading coordinate
+	// (length VectorLen).
+	ExpectedVec []field.Element
 	// Aggregate[i] is node i's reconstructed aggregate (valid iff NodeOK[i]).
+	// For vector rounds this is coordinate 0; AggregateVec has the rest.
 	Aggregate []field.Element
-	// NodeOK[i] reports whether node i obtained a correct aggregate.
+	// AggregateVec[i] is node i's full reconstructed aggregate vector
+	// (valid iff NodeOK[i]).
+	AggregateVec [][]field.Element
+	// NodeOK[i] reports whether node i obtained a correct aggregate (every
+	// coordinate correct, for vector rounds).
 	NodeOK []bool
 	// CorrectNodes counts nodes with a correct aggregate.
 	CorrectNodes int
@@ -41,14 +50,21 @@ type RoundResult struct {
 	SharingChainLen int
 	ReconChainLen   int
 	NTXUsed         int
-	// VerifiedShares / UnverifiedShares report verifiable-mode coverage:
-	// shares checked against a received commitment vs. absorbed
-	// optimistically because the commitment chain missed the destination.
+	// VectorLen is the effective reading-vector length of the round (1 for
+	// scalar rounds); SharePayloadBytes is the per-sub-slot payload size of
+	// the sharing chain, so SharingChainLen × SharePayloadBytes is the
+	// on-air payload volume of one chain pass.
+	VectorLen         int
+	SharePayloadBytes int
+	// VerifiedShares / UnverifiedShares report verifiable-mode coverage in
+	// share VALUES (coordinates): values checked against a received
+	// commitment vs. absorbed optimistically because the commitment chain
+	// missed the destination.
 	VerifiedShares   int
 	UnverifiedShares int
 }
 
-// shareDelivery is one sealed share riding a chain sub-slot.
+// shareDelivery is one sealed share vector riding a chain sub-slot.
 type shareDelivery struct {
 	item   minicast.Item
 	sealed []byte
@@ -63,13 +79,24 @@ func RunRound(boot *Bootstrap, trial uint64) (*RoundResult, error) {
 
 // RunRoundWithSecrets is RunRound with per-round source readings (e.g. this
 // period's meter values), overriding any secrets fixed in the configuration.
-// The map must cover every source.
+// The map must cover every source. In vector mode the fixed reading becomes
+// coordinate 0; the remaining coordinates stay at their per-round random
+// draw.
 func RunRoundWithSecrets(boot *Bootstrap, trial uint64, secrets map[int]uint64) (*RoundResult, error) {
 	return RunRoundTraced(boot, trial, secrets, nil)
 }
 
 // RunRoundTraced is RunRoundWithSecrets with an optional event recorder; a
 // nil recorder is a no-op sink.
+//
+// The round is vectorized end to end: every source shares a VectorLen-long
+// reading vector (shamir.SplitVec — one polynomial per coordinate), ships
+// ONE sealed vector per destination (seckey.SealVector — one MIC for the
+// whole vector), destinations aggregate share vectors coordinate-wise, and
+// reconstruction recovers the full aggregate vector from one cached
+// Lagrange basis (shamir.ReconstructVec). Scalar rounds are the L=1
+// degenerate case and produce results bit-identical to the historical
+// one-share-per-packet path.
 func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *trace.Recorder) (*RoundResult, error) {
 	if boot == nil || boot.Channel == nil {
 		return nil, fmt.Errorf("%w: nil bootstrap", ErrBadConfig)
@@ -87,6 +114,11 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 	n := ch.NumNodes()
 	points := shamir.PublicPoints(n)
 	keys := cfg.keyStore()
+	vecLen := cfg.effVectorLen()
+	// vecMode distinguishes an explicit vector deployment (VectorLen >= 1)
+	// from the scalar default only where the OUTPUT must stay byte-stable
+	// for historical configurations: trace event detail strings.
+	vecMode := cfg.VectorLen > 0
 
 	secretRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+1)
 	radioRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+2)
@@ -103,51 +135,63 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		dests = boot.Dests
 	}
 	// --- Secret generation and share preparation (on-node compute). ---
-	expected := field.Zero
+	expected := make([]field.Element, vecLen)
 	deliveries := make([]shareDelivery, 0, len(cfg.Sources)*len(dests))
-	// localShares[j] collects shares that never ride the chain because the
-	// source is its own destination.
-	localShares := make(map[int][]shamir.Share, len(cfg.Sources))
+	// localShares[j] collects share vectors that never ride the chain
+	// because the source is its own destination.
+	localShares := make(map[int][]shamir.ShareVector, len(cfg.Sources))
 	var shareGenMax time.Duration
 
-	commits := make(map[int]*vss.Commitment, len(cfg.Sources))
+	// commits[src][k] is source src's Feldman commitment for coordinate k.
+	commits := make(map[int][]*vss.Commitment, len(cfg.Sources))
 	for _, src := range cfg.Sources {
-		secret := field.New(secretRNG.Uint64())
+		reading := make([]field.Element, vecLen)
+		for k := range reading {
+			reading[k] = field.New(secretRNG.Uint64())
+		}
 		if cfg.Secrets != nil {
-			secret = field.New(cfg.Secrets[src])
+			reading[0] = field.New(cfg.Secrets[src])
 		}
-		expected = expected.Add(secret)
-		var out []shamir.Share
+		for k, secret := range reading {
+			expected[k] = expected[k].Add(secret)
+		}
+		var out []shamir.ShareVector
 		if cfg.Verifiable {
-			vshares, commit, err := vss.Deal(secret, cfg.Degree, points, secretRNG)
-			if err != nil {
-				return nil, err
+			out = make([]shamir.ShareVector, n)
+			for i := range out {
+				out[i] = shamir.ShareVector{X: points[i], Values: make([]field.Element, vecLen)}
 			}
-			commits[src] = commit
-			out = make([]shamir.Share, len(vshares))
-			for i, vs := range vshares {
-				out[i] = shamir.Share{X: vs.X, Value: vs.Value}
+			cs := make([]*vss.Commitment, vecLen)
+			for k, secret := range reading {
+				vshares, commit, err := vss.Deal(secret, cfg.Degree, points, secretRNG)
+				if err != nil {
+					return nil, err
+				}
+				cs[k] = commit
+				for i, vs := range vshares {
+					out[i].Values[k] = vs.Value
+				}
 			}
+			commits[src] = cs
 		} else {
-			party, err := shamir.NewParty(src, secret, cfg.Degree, points)
+			var err error
+			out, err = shamir.SplitVec(reading, cfg.Degree, points, secretRNG)
 			if err != nil {
 				return nil, err
 			}
-			var err2 error
-			out, err2 = party.OutgoingShares(secretRNG)
-			if err2 != nil {
-				return nil, err2
-			}
 		}
-		genCost := cfg.CPU.ShareGeneration(cfg.Degree, len(dests))
+		genCost := cfg.CPU.ShareGenerationVec(cfg.Degree, len(dests), vecLen)
 		if cfg.Verifiable {
-			genCost += cfg.CPU.VSSCommit(cfg.Degree)
+			genCost += time.Duration(vecLen) * cfg.CPU.VSSCommit(cfg.Degree)
 		}
 		if genCost > shareGenMax {
 			shareGenMax = genCost
 		}
-		rec.Record(genCost, trace.KindShareGen, src,
-			fmt.Sprintf("%d destinations", len(dests)))
+		genDetail := fmt.Sprintf("%d destinations", len(dests))
+		if vecMode {
+			genDetail = fmt.Sprintf("%d destinations, veclen=%d", len(dests), vecLen)
+		}
+		rec.Record(genCost, trace.KindShareGen, src, genDetail)
 		for _, dst := range dests {
 			if dst == src {
 				localShares[dst] = append(localShares[dst], out[dst])
@@ -163,7 +207,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 				Receiver: uint16(dst),
 				Slot:     uint32(len(deliveries)),
 			}
-			sealed, err := seckey.SealShare(key, ctx, out[dst].Value)
+			sealed, err := seckey.SealVector(key, ctx, out[dst].Values)
 			if err != nil {
 				return nil, err
 			}
@@ -187,14 +231,14 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 	engine := sim.NewEngine()
 
 	// Verifiable mode: flood the commitment vectors first (one broadcast
-	// item per polynomial coefficient per source).
+	// item per polynomial coefficient per coordinate per source).
 	var commitDur time.Duration
 	var commitRes *minicast.Result
 	var commitOwner []int // commitment chain index → source
 	if cfg.Verifiable {
-		commitItems := make([]minicast.Item, 0, len(cfg.Sources)*(cfg.Degree+1))
+		commitItems := make([]minicast.Item, 0, len(cfg.Sources)*vecLen*(cfg.Degree+1))
 		for _, src := range cfg.Sources {
-			for c := 0; c <= cfg.Degree; c++ {
+			for c := 0; c < vecLen*(cfg.Degree+1); c++ {
 				commitItems = append(commitItems, minicast.Item{Owner: src, Dst: -1})
 				commitOwner = append(commitOwner, src)
 			}
@@ -221,23 +265,34 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		Initiator:    cfg.Initiator,
 		NTX:          ntx,
 		Items:        shareItems,
-		PayloadBytes: sharePayloadBytes,
+		PayloadBytes: sharePayloadBytes(vecLen),
 		Failed:       cfg.Failed,
 	}, radioRNG, ledger, engine)
 	if err != nil {
 		return nil, fmt.Errorf("sharing phase: %w", err)
 	}
-	rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindPhase, -1,
-		fmt.Sprintf("sharing: chain=%d ntx=%d", len(shareItems), ntx))
+	shareDetail := fmt.Sprintf("sharing: chain=%d ntx=%d", len(shareItems), ntx)
+	if vecMode {
+		shareDetail = fmt.Sprintf("sharing: chain=%d ntx=%d veclen=%d", len(shareItems), ntx, vecLen)
+	}
+	rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindPhase, -1, shareDetail)
 
-	// --- Local aggregation at each destination. ---
-	sums := make([]field.Element, n)
+	// --- Local aggregation at each destination (coordinate-wise). ---
+	sums := make([][]field.Element, n)
+	addVec := func(dst int, values []field.Element) error {
+		if sums[dst] == nil {
+			sums[dst] = make([]field.Element, vecLen)
+		}
+		return field.AccumulateVec(sums[dst], values)
+	}
 	contrib := make([]int, n)
 	absorbCPU := make([]time.Duration, n)
 	var verified, unverified int
 	for dst, shares := range localShares {
-		for _, s := range shares {
-			sums[dst] = sums[dst].Add(s.Value)
+		for _, sv := range shares {
+			if err := addVec(dst, sv.Values); err != nil {
+				return nil, err
+			}
 			contrib[dst]++
 		}
 	}
@@ -256,31 +311,35 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			Receiver: uint16(dst),
 			Slot:     uint32(idx),
 		}
-		value, err := seckey.OpenShare(key, ctx, d.sealed)
+		values, err := seckey.OpenVector(key, ctx, vecLen, d.sealed)
 		if err != nil {
-			return nil, fmt.Errorf("open share %d: %w", idx, err)
+			return nil, fmt.Errorf("open share vector %d: %w", idx, err)
 		}
 		if cfg.Verifiable {
-			// Verify against the dealer's commitment when the commitment
+			// Verify against the dealer's commitments when the commitment
 			// chain reached this destination; absorb optimistically
 			// otherwise (coverage is reported in the result).
 			if hasFullCommitment(commitRes, commitOwner, dst, d.item.Owner) {
-				share := vss.Share{X: shamir.PublicPoint(dst), Value: value}
-				if vErr := vss.Verify(share, commits[d.item.Owner]); vErr != nil {
-					// With honest dealers this indicates a protocol bug.
-					return nil, fmt.Errorf("verify share %d: %w", idx, vErr)
+				for k, v := range values {
+					share := vss.Share{X: shamir.PublicPoint(dst), Value: v}
+					if vErr := vss.Verify(share, commits[d.item.Owner][k]); vErr != nil {
+						// With honest dealers this indicates a protocol bug.
+						return nil, fmt.Errorf("verify share %d[%d]: %w", idx, k, vErr)
+					}
 				}
-				verified++
-				absorbCPU[dst] += cfg.CPU.VSSVerify(cfg.Degree)
+				verified += vecLen
+				absorbCPU[dst] += time.Duration(vecLen) * cfg.CPU.VSSVerify(cfg.Degree)
 			} else {
-				unverified++
+				unverified += vecLen
 			}
 		}
-		sums[dst] = sums[dst].Add(value)
+		if err := addVec(dst, values); err != nil {
+			return nil, err
+		}
 		contrib[dst]++
 	}
 	for _, dst := range dests {
-		absorbCPU[dst] += cfg.CPU.SumAbsorb(contrib[dst])
+		absorbCPU[dst] += cfg.CPU.SumAbsorbVec(contrib[dst], vecLen)
 	}
 
 	// Only destinations whose sum aggregates EVERY source re-share it; an
@@ -299,10 +358,11 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 	need := cfg.Degree + 1
 	if len(holders) < need {
 		// The round is unrecoverable network-wide; report total failure.
-		return failedRound(expected, n, ledger, commitDur+shareRes.Duration, len(shareItems), ntx), nil
+		return failedRound(expected, n, ledger, commitDur+shareRes.Duration,
+			len(shareItems), ntx, vecLen), nil
 	}
 
-	// --- Reconstruction phase over MiniCast (plaintext sums). ---
+	// --- Reconstruction phase over MiniCast (plaintext sum vectors). ---
 	reconItems := make([]minicast.Item, len(holders))
 	for i, h := range holders {
 		reconItems[i] = minicast.Item{Owner: h, Dst: -1}
@@ -328,7 +388,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		Initiator:    cfg.Initiator,
 		NTX:          ntx,
 		Items:        reconItems,
-		PayloadBytes: sumPayloadBytes,
+		PayloadBytes: sumPayloadBytes(vecLen),
 		StopListen:   stopListen,
 		Failed:       cfg.Failed,
 	}, radioRNG, ledger, engine)
@@ -340,8 +400,10 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 
 	// --- Per-node reconstruction and latency. ---
 	res := &RoundResult{
-		Expected:        expected,
+		Expected:        expected[0],
+		ExpectedVec:     expected,
 		Aggregate:       make([]field.Element, n),
+		AggregateVec:    make([][]field.Element, n),
 		NodeOK:          make([]bool, n),
 		Latency:         make([]time.Duration, n),
 		RadioOn:         make([]time.Duration, n),
@@ -350,6 +412,9 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		SharingChainLen: len(shareItems),
 		ReconChainLen:   len(reconItems),
 		NTXUsed:         ntx,
+
+		VectorLen:         vecLen,
+		SharePayloadBytes: sharePayloadBytes(vecLen),
 
 		VerifiedShares:   verified,
 		UnverifiedShares: unverified,
@@ -362,13 +427,13 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 
 		// Collect the arrival times of the sums this node holds.
 		arrivals := make([]time.Duration, 0, len(holders))
-		held := make([]shamir.Share, 0, len(holders))
+		held := make([]shamir.ShareVector, 0, len(holders))
 		for i, h := range holders {
 			if !reconRes.Have[node][i] {
 				continue
 			}
 			arrivals = append(arrivals, reconRes.RxAt[node][i])
-			held = append(held, shamir.Share{X: shamir.PublicPoint(h), Value: sums[h]})
+			held = append(held, shamir.ShareVector{X: shamir.PublicPoint(h), Values: sums[h]})
 		}
 		required := need
 		if cfg.Protocol == S3 {
@@ -383,18 +448,26 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
 		readyAt := arrivals[required-1]
 
-		agg, err := shamir.ReconstructAggregate(held[:need], cfg.Degree)
+		agg, err := shamir.ReconstructVec(held, cfg.Degree)
 		if err != nil {
 			return nil, err
 		}
-		res.Aggregate[node] = agg
-		if agg != expected {
-			continue // would indicate an incomplete sum slipped through
+		res.Aggregate[node] = agg[0]
+		res.AggregateVec[node] = agg
+		ok := true
+		for k := range agg {
+			if agg[k] != expected[k] {
+				ok = false // would indicate an incomplete sum slipped through
+				break
+			}
+		}
+		if !ok {
+			continue
 		}
 		res.NodeOK[node] = true
 		okCount++
 		lat := shareGenMax + commitDur + shareRes.Duration + absorbCPU[node] + readyAt +
-			cfg.CPU.Interpolation(need)
+			cfg.CPU.InterpolationVec(need, vecLen)
 		res.Latency[node] = lat
 		rec.Record(lat, trace.KindAggregateOK, node, "")
 		latSum += lat
@@ -431,17 +504,22 @@ func hasFullCommitment(commitRes *minicast.Result, commitOwner []int, dst, src i
 
 // failedRound builds the all-failure result used when too few complete sums
 // exist for anyone to reconstruct.
-func failedRound(expected field.Element, n int, ledger *sim.RadioLedger,
-	shareDur time.Duration, chainLen, ntx int) *RoundResult {
+func failedRound(expected []field.Element, n int, ledger *sim.RadioLedger,
+	shareDur time.Duration, chainLen, ntx, vecLen int) *RoundResult {
 	res := &RoundResult{
-		Expected:        expected,
+		Expected:        expected[0],
+		ExpectedVec:     expected,
 		Aggregate:       make([]field.Element, n),
+		AggregateVec:    make([][]field.Element, n),
 		NodeOK:          make([]bool, n),
 		Latency:         make([]time.Duration, n),
 		RadioOn:         make([]time.Duration, n),
 		SharingDuration: shareDur,
 		SharingChainLen: chainLen,
 		NTXUsed:         ntx,
+
+		VectorLen:         vecLen,
+		SharePayloadBytes: sharePayloadBytes(vecLen),
 	}
 	var onSum time.Duration
 	for i := 0; i < n; i++ {

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"iotmpc/internal/phy"
+	"iotmpc/internal/topology"
+	"iotmpc/internal/trace"
+)
+
+// vectorEquivalenceBackends are the three PHY backends the L=1 equivalence
+// claim is asserted on. The trace backend replays a bundled 10-node PRR
+// matrix, so it gets its own matching topology.
+func vectorEquivalenceBackends(t *testing.T) []struct {
+	name    string
+	factory phy.Factory
+	topo    topology.Topology
+	sources int
+} {
+	t.Helper()
+	lt, err := trace.Bundled("testbed10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	line10, err := topology.Line(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name    string
+		factory phy.Factory
+		topo    topology.Topology
+		sources int
+	}{
+		{"logdist", nil, topology.FlockLab(), 26},
+		{"unitdisk", phy.UnitDiskFactory(0, 0), topology.FlockLab(), 26},
+		{"trace", trace.Factory(lt), line10, 10},
+	}
+}
+
+// TestVectorLenOneMatchesScalarRound asserts the tentpole compatibility
+// contract: an explicit VectorLen 1 round is bit-identical to the scalar
+// default (VectorLen 0) — aggregates, latencies, chain lengths, radio-on,
+// phase durations, everything in the RoundResult — for both protocols on
+// all three PHY backends. The vector machinery must be a strict
+// generalization, not a parallel implementation that drifts.
+func TestVectorLenOneMatchesScalarRound(t *testing.T) {
+	for _, be := range vectorEquivalenceBackends(t) {
+		for _, proto := range []Protocol{S3, S4} {
+			t.Run(be.name+"/"+proto.String(), func(t *testing.T) {
+				cfg := Config{
+					Topology:    be.topo,
+					Backend:     be.factory,
+					Protocol:    proto,
+					Sources:     sourcesUpTo(be.sources),
+					NTXSharing:  6,
+					DestSlack:   1,
+					ChannelSeed: 1,
+				}
+				vecCfg := cfg
+				vecCfg.VectorLen = 1
+				scalarBoot := bootFor(t, cfg)
+				vecBoot := bootFor(t, vecCfg)
+				for trial := uint64(0); trial < 2; trial++ {
+					scalar, err := RunRound(scalarBoot, trial)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vec, err := RunRound(vecBoot, trial)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(scalar, vec) {
+						t.Errorf("trial %d: VectorLen=1 round differs from scalar round\nscalar: %+v\nvector: %+v",
+							trial, scalar, vec)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScalarRoundGoldenValues pins the scalar round to values recorded
+// BEFORE the round runner was vectorized (PR 3 state). This is what keeps
+// every content-addressed cache entry and derived seed valid across the
+// refactor: if any of these numbers moves, the simulation semantics moved.
+func TestScalarRoundGoldenValues(t *testing.T) {
+	golden := map[Protocol]map[uint64]struct {
+		expected    uint64
+		meanLatency time.Duration
+		maxLatency  time.Duration
+		meanRadioOn time.Duration
+		shareChain  int
+		reconChain  int
+		ntx         int
+		sharingDur  time.Duration
+		reconDur    time.Duration
+	}{
+		S3: {
+			0: {206420139460189345, 37910452000, 38136802000, 39000000000, 650, 26, 12, 37596000000, 1404000000},
+			1: {1170534873873267983, 37917305846, 38107102000, 39000000000, 650, 26, 12, 37596000000, 1404000000},
+		},
+		S4: {
+			0: {206420139460189345, 7319544153, 7398308000, 7352884615, 250, 10, 6, 7230000000, 270000000},
+			1: {1170534873873267983, 7320097653, 7385933000, 7351153846, 250, 9, 6, 7230000000, 243000000},
+		},
+	}
+	for _, proto := range []Protocol{S3, S4} {
+		boot := bootFor(t, flockConfig(proto))
+		for trial := uint64(0); trial < 2; trial++ {
+			res, err := RunRound(boot, trial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := golden[proto][trial]
+			if res.CorrectNodes != 26 {
+				t.Errorf("%v trial %d: correct = %d, want 26", proto, trial, res.CorrectNodes)
+			}
+			if got := res.Expected.Uint64(); got != want.expected {
+				t.Errorf("%v trial %d: expected aggregate = %d, want %d", proto, trial, got, want.expected)
+			}
+			if res.MeanLatency != want.meanLatency || res.MaxLatency != want.maxLatency {
+				t.Errorf("%v trial %d: latency mean/max = %d/%d, want %d/%d",
+					proto, trial, res.MeanLatency, res.MaxLatency, want.meanLatency, want.maxLatency)
+			}
+			if res.MeanRadioOn != want.meanRadioOn {
+				t.Errorf("%v trial %d: radio-on = %d, want %d", proto, trial, res.MeanRadioOn, want.meanRadioOn)
+			}
+			if res.SharingChainLen != want.shareChain || res.ReconChainLen != want.reconChain {
+				t.Errorf("%v trial %d: chains = %d/%d, want %d/%d",
+					proto, trial, res.SharingChainLen, res.ReconChainLen, want.shareChain, want.reconChain)
+			}
+			if res.NTXUsed != want.ntx {
+				t.Errorf("%v trial %d: ntx = %d, want %d", proto, trial, res.NTXUsed, want.ntx)
+			}
+			if res.SharingDuration != want.sharingDur || res.ReconDuration != want.reconDur {
+				t.Errorf("%v trial %d: durations = %d/%d, want %d/%d",
+					proto, trial, res.SharingDuration, res.ReconDuration, want.sharingDur, want.reconDur)
+			}
+		}
+	}
+}
+
+// TestVectorRoundMultiSensor checks the vector round proper: every node
+// reconstructs the full L-coordinate aggregate, the chain still has one
+// sub-slot per (source, destination) — NOT per coordinate — and the sealed
+// payload grows to 8·L + one MIC.
+func TestVectorRoundMultiSensor(t *testing.T) {
+	const vecLen = 8
+	cfg := flockConfig(S4)
+	cfg.VectorLen = vecLen
+	boot := bootFor(t, cfg)
+	scalarBoot := bootFor(t, flockConfig(S4))
+	res, err := RunRound(boot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := RunRound(scalarBoot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VectorLen != vecLen {
+		t.Fatalf("VectorLen = %d, want %d", res.VectorLen, vecLen)
+	}
+	if len(res.ExpectedVec) != vecLen {
+		t.Fatalf("ExpectedVec has %d coordinates", len(res.ExpectedVec))
+	}
+	// One sealed vector per (source, destination): the chain must be
+	// exactly as long as the scalar chain, an 8x saving over running 8
+	// scalar rounds.
+	if res.SharingChainLen != scalar.SharingChainLen {
+		t.Errorf("sharing chain = %d, want %d (one sub-slot per (src,dst) regardless of L)",
+			res.SharingChainLen, scalar.SharingChainLen)
+	}
+	wantPayload := 9 + 8*vecLen + 4 // header + packed vector + one MIC-32
+	if res.SharePayloadBytes != wantPayload {
+		t.Errorf("share payload = %dB, want %dB", res.SharePayloadBytes, wantPayload)
+	}
+	if res.CorrectNodes != 26 {
+		t.Fatalf("correct nodes = %d/26", res.CorrectNodes)
+	}
+	for node, ok := range res.NodeOK {
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(res.AggregateVec[node], res.ExpectedVec) {
+			t.Errorf("node %d aggregate vector %v != expected %v",
+				node, res.AggregateVec[node], res.ExpectedVec)
+		}
+		if res.Aggregate[node] != res.ExpectedVec[0] {
+			t.Errorf("node %d scalar view %v != coordinate 0 %v",
+				node, res.Aggregate[node], res.ExpectedVec[0])
+		}
+	}
+	// The batched round must be strictly cheaper than L scalar rounds on
+	// the air: latency and radio-on grow sublinearly in L.
+	if res.MeanLatency >= time.Duration(vecLen)*scalar.MeanLatency {
+		t.Errorf("vector latency %v not below %d× scalar %v", res.MeanLatency, vecLen, scalar.MeanLatency)
+	}
+	if res.MeanRadioOn >= time.Duration(vecLen)*scalar.MeanRadioOn {
+		t.Errorf("vector radio-on %v not below %d× scalar %v", res.MeanRadioOn, vecLen, scalar.MeanRadioOn)
+	}
+}
+
+// TestVectorRoundVerifiable exercises the per-coordinate Feldman commitment
+// path: L·(degree+1) commitment items per source, every absorbed coordinate
+// verified when the commitment chain delivered.
+func TestVectorRoundVerifiable(t *testing.T) {
+	const vecLen = 3
+	cfg := flockConfig(S4)
+	cfg.Sources = sourcesUpTo(6)
+	cfg.VectorLen = vecLen
+	cfg.Verifiable = true
+	boot := bootFor(t, cfg)
+	rec := &trace.Recorder{}
+	res, err := RunRoundTraced(boot, 0, nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorrectNodes != 26 {
+		t.Fatalf("correct nodes = %d/26", res.CorrectNodes)
+	}
+	if res.VerifiedShares == 0 {
+		t.Fatal("no shares verified")
+	}
+	if res.VerifiedShares%vecLen != 0 || res.UnverifiedShares%vecLen != 0 {
+		t.Errorf("verified/unverified = %d/%d, want multiples of %d (coordinates are verified per vector)",
+			res.VerifiedShares, res.UnverifiedShares, vecLen)
+	}
+}
+
+// TestVectorLenValidation pins the frame-budget bound: MaxVectorLen is the
+// largest L whose sealed vector still fits one 802.15.4 PSDU next to the
+// chain header.
+func TestVectorLenValidation(t *testing.T) {
+	if MaxVectorLen != 14 {
+		t.Fatalf("MaxVectorLen = %d, want 14 for a %dB PSDU", MaxVectorLen, phy.MaxPSDU)
+	}
+	cfg := flockConfig(S4)
+	cfg.VectorLen = MaxVectorLen
+	if _, err := cfg.normalized(); err != nil {
+		t.Errorf("VectorLen=%d rejected: %v", MaxVectorLen, err)
+	}
+	for _, bad := range []int{-1, MaxVectorLen + 1} {
+		cfg.VectorLen = bad
+		if _, err := cfg.normalized(); err == nil {
+			t.Errorf("VectorLen=%d accepted", bad)
+		}
+	}
+}

@@ -115,6 +115,13 @@ type Sink interface {
 // version. Bump it whenever a change alters what any scenario computes
 // (protocol logic, PHY models, metric folding) so stale entries become
 // misses instead of silently wrong answers.
+//
+// Deliberately NOT bumped for the batched-sealing release: scalar rounds
+// are bit-identical to before (pinned in core's golden test), so every
+// pre-existing entry is still a correct answer. Entries written before
+// ScenarioResult gained its informational chain-accounting fields
+// (SharingChainLen/ShareAirBytes) decode with them zero; those fields
+// describe the result, they never feed back into simulation.
 const ResultCacheVersion = "iotmpc/scenario-result/v1"
 
 // ScenarioCacheKey is the content address of a scenario's result: the

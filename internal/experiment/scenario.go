@@ -106,6 +106,12 @@ type Scenario struct {
 	// .Verifiable): commitments flooded in a preliminary chain, every share
 	// checked before it is absorbed.
 	Verifiable bool `json:"verifiable,omitempty"`
+	// VectorLen is the per-source reading-vector length L (core.Config
+	// .VectorLen): each source shares L readings per round inside ONE
+	// sealed vector packet per destination. 0 selects the historical
+	// scalar round; omitempty keeps pre-vector scenario encodings — and
+	// therefore their cache keys — unchanged.
+	VectorLen int `json:"vectorLen,omitempty"`
 	// Iterations is the Monte-Carlo repetition count.
 	Iterations int `json:"iterations"`
 	// Seed roots every random choice of the scenario (topology, shadowing,
@@ -139,6 +145,9 @@ type Matrix struct {
 	// Verifiable is the VSS-mode axis; nil selects {false}. {false, true}
 	// sweeps the verification overhead head-to-head.
 	Verifiable []bool
+	// VectorLens is the reading-vector-length axis; nil selects {0} (the
+	// scalar round). Values must lie in [0, core.MaxVectorLen].
+	VectorLens []int
 	// Protocols is the protocol axis; nil selects {S3, S4}.
 	Protocols []core.Protocol
 	// Iterations is the Monte-Carlo repetition count per scenario. Required.
@@ -149,7 +158,7 @@ type Matrix struct {
 
 // Scenarios expands the matrix into the ordered scenario list. Expansion
 // order is backend → nodes → degree → loss rate → NTX → slack → failure rate
-// → verifiable → protocol (protocol innermost, so paired protocol
+// → verifiable → vector length → protocol (protocol innermost, so paired protocol
 // comparisons sit adjacent in reports; backend outermost, so a single-
 // backend matrix keeps the indices — and therefore the derived seeds — it
 // had before the backend axis existed). Every axis added since then defaults
@@ -193,6 +202,10 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 	if len(verifiables) == 0 {
 		verifiables = []bool{false}
 	}
+	vectorLens := m.VectorLens
+	if len(vectorLens) == 0 {
+		vectorLens = []int{0}
+	}
 	protocols := m.Protocols
 	if len(protocols) == 0 {
 		protocols = []core.Protocol{core.S3, core.S4}
@@ -220,6 +233,11 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 	for _, fr := range failureRates {
 		if fr < 0 || fr >= 1 {
 			return nil, fmt.Errorf("%w: failure rate %f outside [0,1)", ErrBadSpec, fr)
+		}
+	}
+	for _, vl := range vectorLens {
+		if vl < 0 || vl > core.MaxVectorLen {
+			return nil, fmt.Errorf("%w: vector length %d outside [0,%d]", ErrBadSpec, vl, core.MaxVectorLen)
 		}
 	}
 	// Probe layouts depend only on the node count; synthesize each once even
@@ -255,7 +273,8 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 	}
 
 	size := len(backends) * len(m.NodeCounts) * len(degrees) * len(lossRates) *
-		len(ntxValues) * len(slacks) * len(failureRates) * len(verifiables) * len(protocols)
+		len(ntxValues) * len(slacks) * len(failureRates) * len(verifiables) *
+		len(vectorLens) * len(protocols)
 	out := make([]Scenario, 0, size)
 	for _, backend := range backends {
 		for _, nodes := range m.NodeCounts {
@@ -265,22 +284,25 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 						for _, slack := range slacks {
 							for _, fr := range failureRates {
 								for _, verifiable := range verifiables {
-									for _, proto := range protocols {
-										idx := len(out)
-										out = append(out, Scenario{
-											Index:       idx,
-											Backend:     backend,
-											Nodes:       nodes,
-											Degree:      degree,
-											LossRate:    lr,
-											Protocol:    proto,
-											NTXSharing:  ntx,
-											DestSlack:   slack,
-											FailureRate: fr,
-											Verifiable:  verifiable,
-											Iterations:  m.Iterations,
-											Seed:        sim.DeriveSeed(m.Seed, uint64(idx)),
-										})
+									for _, vl := range vectorLens {
+										for _, proto := range protocols {
+											idx := len(out)
+											out = append(out, Scenario{
+												Index:       idx,
+												Backend:     backend,
+												Nodes:       nodes,
+												Degree:      degree,
+												LossRate:    lr,
+												Protocol:    proto,
+												NTXSharing:  ntx,
+												DestSlack:   slack,
+												FailureRate: fr,
+												Verifiable:  verifiable,
+												VectorLen:   vl,
+												Iterations:  m.Iterations,
+												Seed:        sim.DeriveSeed(m.Seed, uint64(idx)),
+											})
+										}
 									}
 								}
 							}
@@ -304,6 +326,17 @@ type ScenarioResult struct {
 	SuccessRate float64 `json:"successRate"`
 	// FailedRounds counts rounds in which no node reconstructed at all.
 	FailedRounds int `json:"failedRounds"`
+	// SharingChainLen is the sharing-phase chain length in sub-slots —
+	// constant across a scenario's trials (it depends only on the bootstrap
+	// and the source set), captured from trial 0. One sealed vector per
+	// (source, destination) ride these sub-slots, so the length does NOT
+	// grow with VectorLen; that is the batched-sealing win the CI size gate
+	// asserts. omitempty: entries cached before the field existed stay
+	// decodable and re-encodable unchanged.
+	SharingChainLen int `json:"sharingChainLen,omitempty"`
+	// ShareAirBytes is the on-air payload volume of one sharing-chain pass:
+	// SharingChainLen × the per-sub-slot payload (header + 8·L + one MIC).
+	ShareAirBytes int `json:"shareAirBytes,omitempty"`
 
 	// Cached is set by the Runner when the result was served from the result
 	// cache rather than computed. Runtime metadata: excluded from JSON, so
@@ -429,6 +462,7 @@ func runScenario(sc Scenario, backend phy.Factory, trialWorkers int) (ScenarioRe
 		DestSlack:   sc.DestSlack,
 		Failed:      failed,
 		Verifiable:  sc.Verifiable,
+		VectorLen:   sc.VectorLen,
 		ChannelSeed: sc.Seed,
 	}
 	boot, err := core.RunBootstrap(cfg)
@@ -445,6 +479,11 @@ func runScenario(sc Scenario, backend phy.Factory, trialWorkers int) (ScenarioRe
 	}
 	var lat, radio metrics.Stream
 	okNodes, totalNodes, failedRounds := 0, 0, 0
+	// Chain geometry is a function of (bootstrap, sources), not of the
+	// trial, so trial 0's values describe the whole scenario. Written by
+	// exactly one worker (the one that draws trial 0), read after the pool
+	// joins.
+	chainLen, chainPayload := 0, 0
 	block := make([]trialStats, trialBlock)
 	for base := 0; base < sc.Iterations; base += trialBlock {
 		count := sc.Iterations - base
@@ -455,6 +494,10 @@ func runScenario(sc Scenario, backend phy.Factory, trialWorkers int) (ScenarioRe
 			res, err := core.RunRound(boot, uint64(base+i))
 			if err != nil {
 				return err
+			}
+			if base+i == 0 {
+				chainLen = res.SharingChainLen
+				chainPayload = res.SharePayloadBytes
 			}
 			block[i] = trialStats{
 				meanLatency: res.MeanLatency,
@@ -481,9 +524,11 @@ func runScenario(sc Scenario, backend phy.Factory, trialWorkers int) (ScenarioRe
 		}
 	}
 	out := ScenarioResult{
-		Scenario:     sc,
-		SuccessRate:  float64(okNodes) / float64(totalNodes),
-		FailedRounds: failedRounds,
+		Scenario:        sc,
+		SuccessRate:     float64(okNodes) / float64(totalNodes),
+		FailedRounds:    failedRounds,
+		SharingChainLen: chainLen,
+		ShareAirBytes:   chainLen * chainPayload,
 	}
 	if lat.Len() > 0 {
 		if out.LatencyMS, err = lat.Summarize(); err != nil {

@@ -66,13 +66,108 @@ func TestMatrixValidation(t *testing.T) {
 		{Iterations: 1},                       // no node counts
 		{NodeCounts: []int{10}},               // no iterations
 		{NodeCounts: []int{3}, Iterations: 1}, // too small
-		{NodeCounts: []int{10}, LossRates: []float64{1.0}, Iterations: 1},   // loss out of range
-		{NodeCounts: []int{10}, LossRates: []float64{-0.25}, Iterations: 1}, // negative loss
+		{NodeCounts: []int{10}, LossRates: []float64{1.0}, Iterations: 1},                // loss out of range
+		{NodeCounts: []int{10}, LossRates: []float64{-0.25}, Iterations: 1},              // negative loss
+		{NodeCounts: []int{10}, VectorLens: []int{-1}, Iterations: 1},                    // negative veclen
+		{NodeCounts: []int{10}, VectorLens: []int{core.MaxVectorLen + 1}, Iterations: 1}, // frame overflow
 	}
 	for i, m := range cases {
 		if _, err := m.Scenarios(); !errors.Is(err, ErrBadSpec) {
 			t.Fatalf("case %d: %v", i, err)
 		}
+	}
+}
+
+func TestMatrixVectorLenAxis(t *testing.T) {
+	m := Matrix{
+		NodeCounts: []int{10},
+		VectorLens: []int{0, 4, 8},
+		Protocols:  []core.Protocol{core.S3, core.S4},
+		Iterations: 1,
+		Seed:       5,
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 3*2 {
+		t.Fatalf("expanded %d scenarios, want 6", len(scenarios))
+	}
+	// Protocol stays innermost: each vector length appears as an adjacent
+	// S3/S4 pair.
+	wantVec := []int{0, 0, 4, 4, 8, 8}
+	for i, sc := range scenarios {
+		if sc.VectorLen != wantVec[i] {
+			t.Fatalf("scenario %d veclen = %d, want %d", i, sc.VectorLen, wantVec[i])
+		}
+	}
+}
+
+func TestMatrixVectorLenDefaultKeepsSeeds(t *testing.T) {
+	// A matrix that does not sweep VectorLens must expand to the exact
+	// scenarios (indices, seeds, encodings — hence cache keys) it did
+	// before the axis existed.
+	without, err := testMatrix().Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDefault := testMatrix()
+	withDefault.VectorLens = []int{0}
+	explicit, err := withDefault.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(without, explicit) {
+		t.Fatal("explicit VectorLens {0} expands differently from nil")
+	}
+	for _, sc := range without {
+		key, err := ScenarioCacheKey(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecSc := sc
+		vecSc.VectorLen = 8
+		vecKey, err := ScenarioCacheKey(vecSc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key == vecKey {
+			t.Fatalf("scenario %d: veclen 8 shares a cache key with the scalar cell", sc.Index)
+		}
+	}
+}
+
+func TestRunScenarioVectorChainAccounting(t *testing.T) {
+	// The batched-sealing contract the CI gate enforces, asserted at the
+	// library layer: same chain length as the scalar round, one sealed
+	// packet of 8·L+MIC per (source, destination), air bytes strictly
+	// below L scalar chains.
+	base := Scenario{Nodes: 12, Protocol: core.S4, Iterations: 2, Seed: 11}
+	scalar, err := RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := base
+	vec.VectorLen = 8
+	vecRes, err := RunScenario(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.SharingChainLen == 0 || scalar.ShareAirBytes == 0 {
+		t.Fatalf("scalar chain accounting empty: %+v", scalar)
+	}
+	if vecRes.SharingChainLen != scalar.SharingChainLen {
+		t.Errorf("veclen 8 chain = %d, want %d", vecRes.SharingChainLen, scalar.SharingChainLen)
+	}
+	if vecRes.ShareAirBytes >= 8*scalar.ShareAirBytes {
+		t.Errorf("veclen 8 air bytes %d not below 8× scalar %d",
+			vecRes.ShareAirBytes, scalar.ShareAirBytes)
+	}
+	// Exact payload relation: (9+8·8+4) vector bytes per sub-slot vs
+	// (9+8+4) scalar bytes.
+	if vecRes.ShareAirBytes*21 != scalar.ShareAirBytes*77 {
+		t.Errorf("air-byte ratio %d/%d, want exactly 77/21",
+			vecRes.ShareAirBytes, scalar.ShareAirBytes)
 	}
 }
 

@@ -76,11 +76,11 @@ type TableSink struct {
 // OnStart implements Sink.
 func (t *TableSink) OnStart(Plan) error {
 	if _, err := fmt.Fprintln(t.W,
-		"Scenario matrix — backend × nodes × degree × loss × ntx × slack × fail × vss × protocol"); err != nil {
+		"Scenario matrix — backend × nodes × degree × loss × ntx × slack × fail × vss × veclen × protocol"); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(t.W, "%-5s %-10s %-6s %-7s %-6s %-4s %-6s %-5s %-4s %-6s %14s %14s %10s %7s\n",
-		"idx", "phy", "nodes", "degree", "loss", "ntx", "slack", "fail", "vss", "proto",
+	_, err := fmt.Fprintf(t.W, "%-5s %-10s %-6s %-7s %-6s %-4s %-6s %-5s %-4s %-6s %-6s %14s %14s %10s %7s\n",
+		"idx", "phy", "nodes", "degree", "loss", "ntx", "slack", "fail", "vss", "veclen", "proto",
 		"latency (ms)", "radio-on (ms)", "success", "failed")
 	return err
 }
@@ -92,9 +92,9 @@ func (t *TableSink) OnResult(r ScenarioResult) error {
 	if sc.Verifiable {
 		vss = "yes"
 	}
-	_, err := fmt.Fprintf(t.W, "%-5d %-10s %-6d %-7d %-6.2f %-4d %-6d %-5.2f %-4s %-6s %14.1f %14.1f %9.1f%% %7d\n",
+	_, err := fmt.Fprintf(t.W, "%-5d %-10s %-6d %-7d %-6.2f %-4d %-6d %-5.2f %-4s %-6d %-6s %14.1f %14.1f %9.1f%% %7d\n",
 		sc.Index, backendLabel(sc), sc.Nodes, sc.Degree, sc.LossRate,
-		sc.NTXSharing, sc.DestSlack, sc.FailureRate, vss, sc.Protocol,
+		sc.NTXSharing, sc.DestSlack, sc.FailureRate, vss, sc.VectorLen, sc.Protocol,
 		r.LatencyMS.Mean, r.RadioOnMS.Mean, r.SuccessRate*100, r.FailedRounds)
 	return err
 }
@@ -106,7 +106,7 @@ func (t *TableSink) OnFinish(RunSummary) error { return nil }
 // CSVSink and MatrixCSV.
 var matrixCSVHeader = []string{
 	"index", "backend", "testbed", "nodes", "sources", "degree", "loss_rate", "protocol",
-	"ntx_sharing", "dest_slack", "failure_rate", "verifiable",
+	"ntx_sharing", "dest_slack", "failure_rate", "verifiable", "vector_len",
 	"latency_ms_mean", "latency_ms_ci95", "radio_ms_mean", "radio_ms_ci95",
 	"success_rate", "failed_rounds",
 }
@@ -126,6 +126,7 @@ func matrixCSVRecord(r ScenarioResult) []string {
 		strconv.Itoa(sc.DestSlack),
 		fmt.Sprintf("%.3f", sc.FailureRate),
 		strconv.FormatBool(sc.Verifiable),
+		strconv.Itoa(sc.VectorLen),
 		fmt.Sprintf("%.3f", r.LatencyMS.Mean),
 		fmt.Sprintf("%.3f", r.LatencyMS.CI95),
 		fmt.Sprintf("%.3f", r.RadioOnMS.Mean),

@@ -42,6 +42,13 @@ var (
 	ErrBadConfig = errors.New("hepda: invalid configuration")
 )
 
+// MaxVectorLen caps Config.VectorLen at the SSS protocol's frame-budget
+// bound, so every L an HE-vs-SSS comparison can ask of one side is valid
+// on the other. The HE result flood (8·L+4 B) fits a PSDU at this bound
+// with room to spare. The value must equal core.MaxVectorLen — hepda does
+// not import core, so TestMaxVectorLenMatchesSSS pins the two together.
+const MaxVectorLen = (phy.MaxPSDU - 9 - 4) / 8
+
 // CostModel holds the modeled on-node costs of Paillier operations for the
 // security-parameter key (the simulation itself runs a smaller real key for
 // speed; metrics use these figures).
@@ -88,6 +95,13 @@ type Config struct {
 	ModelKeyBits int
 	// MaxRetries bounds per-frame convergecast retries (default 12).
 	MaxRetries int
+	// VectorLen is the per-source reading vector length L (0 selects 1).
+	// Homomorphic addition works per ciphertext, so an L-sensor reading
+	// costs L FULL Paillier encryptions, L ciphertexts on the air per hop,
+	// and L decryptions at the sink — there is no one-MIC-per-vector
+	// amortization to be had, which is exactly the asymmetry the batched
+	// SSS comparison (core.Config.VectorLen) measures against.
+	VectorLen int
 	// ChannelSeed freezes the radio environment.
 	ChannelSeed int64
 	// Cost overrides the CPU cost model; zero value selects
@@ -126,6 +140,15 @@ func (c Config) normalized() (Config, error) {
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 12
 	}
+	if c.VectorLen < 0 {
+		return c, fmt.Errorf("%w: negative vector length %d", ErrBadConfig, c.VectorLen)
+	}
+	if c.VectorLen == 0 {
+		c.VectorLen = 1
+	}
+	if c.VectorLen > MaxVectorLen {
+		return c, fmt.Errorf("%w: vector length %d exceeds %d", ErrBadConfig, c.VectorLen, MaxVectorLen)
+	}
 	if c.Cost == (CostModel{}) {
 		base := DefaultCostModel2048()
 		// Modexp scales ~cubically in the modulus size.
@@ -146,11 +169,18 @@ func (c Config) normalized() (Config, error) {
 type RoundResult struct {
 	// Expected is the plaintext sum over delivered sources (lost
 	// contributions are excluded by protocol design, visible in
-	// DeliveryRate).
+	// DeliveryRate). Coordinate 0 for vector rounds; ExpectedVec has all.
 	Expected uint64
-	// Aggregate is the sink's decrypted result.
+	// ExpectedVec / AggregateVec are the per-coordinate expected and
+	// decrypted sums (length VectorLen).
+	ExpectedVec []uint64
+	// Aggregate is the sink's decrypted result (coordinate 0).
 	Aggregate uint64
-	// Correct reports Aggregate == Expected.
+	// AggregateVec is the sink's decrypted result for every coordinate.
+	AggregateVec []uint64
+	// VectorLen is the effective reading-vector length of the round.
+	VectorLen int
+	// Correct reports Aggregate == Expected on every coordinate.
 	Correct bool
 	// DeliveryRate is the fraction of sources whose ciphertext reached the
 	// sink.
@@ -192,22 +222,32 @@ func RunRound(cfg Config, trial uint64) (*RoundResult, error) {
 	radioRNG := sim.NewRNG(cfg.ChannelSeed, trial*8+2)
 
 	// Readings and encryption (all nodes encrypt in parallel; latency pays
-	// one Encrypt).
-	readings := make(map[int]uint64, len(cfg.Sources))
-	ciphers := make(map[int]*big.Int, len(cfg.Sources))
+	// the per-node L·Encrypt). A vector reading is L independent Paillier
+	// ciphertexts — HE has no cheap way to pack coordinates the way one
+	// CMAC covers a whole SSS share vector.
+	vecLen := cfg.VectorLen
+	readings := make(map[int][]uint64, len(cfg.Sources))
+	ciphers := make(map[int][]*big.Int, len(cfg.Sources))
 	cpu := make([]time.Duration, n)
 	for _, src := range cfg.Sources {
-		v := secretRNG.Uint64() >> 24 // keep sums far below N
-		readings[src] = v
-		c, err := sk.Encrypt(new(big.Int).SetUint64(v), secretRNG)
-		if err != nil {
-			return nil, fmt.Errorf("encrypt at %d: %w", src, err)
+		vs := make([]uint64, vecLen)
+		cs := make([]*big.Int, vecLen)
+		for k := 0; k < vecLen; k++ {
+			v := secretRNG.Uint64() >> 24 // keep sums far below N
+			vs[k] = v
+			c, err := sk.Encrypt(new(big.Int).SetUint64(v), secretRNG)
+			if err != nil {
+				return nil, fmt.Errorf("encrypt at %d: %w", src, err)
+			}
+			cs[k] = c
 		}
-		ciphers[src] = c
-		cpu[src] += cfg.Cost.Encrypt
+		readings[src] = vs
+		ciphers[src] = cs
+		cpu[src] += time.Duration(vecLen) * cfg.Cost.Encrypt
 	}
 
-	// Convergecast the ciphertexts with in-network aggregation.
+	// Convergecast the ciphertexts with in-network aggregation; every hop
+	// moves all L ciphertexts of the subtree's fold.
 	tree, err := collect.BuildTree(ch, cfg.Sink, 0.5)
 	if err != nil {
 		return nil, err
@@ -217,21 +257,23 @@ func RunRound(cfg Config, trial uint64) (*RoundResult, error) {
 	colRes, err := collect.Run(collect.Config{
 		Channel:      ch,
 		Tree:         tree,
-		MessageBytes: modelCipherBytes,
+		MessageBytes: vecLen * modelCipherBytes,
 		MaxRetries:   cfg.MaxRetries,
 	}, radioRNG, ledger, engine)
 	if err != nil {
 		return nil, fmt.Errorf("convergecast: %w", err)
 	}
 
-	// Fold delivered ciphertexts (the simulation folds at the sink; the
-	// in-network folding has identical algebra and its per-hop cost is
-	// charged to the forwarding nodes below).
-	acc, err := sk.Encrypt(big.NewInt(0), secretRNG)
-	if err != nil {
-		return nil, err
+	// Fold delivered ciphertexts per coordinate (the simulation folds at
+	// the sink; the in-network folding has identical algebra and its
+	// per-hop cost is charged to the forwarding nodes below).
+	accs := make([]*big.Int, vecLen)
+	for k := range accs {
+		if accs[k], err = sk.Encrypt(big.NewInt(0), secretRNG); err != nil {
+			return nil, err
+		}
 	}
-	var expected uint64
+	expected := make([]uint64, vecLen)
 	delivered, total := 0, 0
 	for _, src := range cfg.Sources {
 		total++
@@ -239,47 +281,63 @@ func RunRound(cfg Config, trial uint64) (*RoundResult, error) {
 			continue
 		}
 		delivered++
-		expected += readings[src]
-		if acc, err = sk.Add(acc, ciphers[src]); err != nil {
-			return nil, err
+		for k := 0; k < vecLen; k++ {
+			expected[k] += readings[src][k]
+			if accs[k], err = sk.Add(accs[k], ciphers[src][k]); err != nil {
+				return nil, err
+			}
 		}
 	}
-	// Charge the per-hop aggregation multiply to every forwarding node.
+	// Charge the per-hop aggregation multiplies to every forwarding node.
 	for node := 0; node < n; node++ {
 		if node != cfg.Sink && colRes.LinkOK[node] {
-			cpu[node] += cfg.Cost.Aggregate
+			cpu[node] += time.Duration(vecLen) * cfg.Cost.Aggregate
 		}
 	}
 
-	plain, err := sk.Decrypt(acc)
-	if err != nil {
-		return nil, fmt.Errorf("decrypt: %w", err)
+	aggregate := make([]uint64, vecLen)
+	for k := range accs {
+		plain, err := sk.Decrypt(accs[k])
+		if err != nil {
+			return nil, fmt.Errorf("decrypt: %w", err)
+		}
+		aggregate[k] = plain.Uint64()
 	}
-	cpu[cfg.Sink] += cfg.Cost.Decrypt
+	cpu[cfg.Sink] += time.Duration(vecLen) * cfg.Cost.Decrypt
 
-	// Result dissemination: Glossy flood of the 8-byte aggregate.
+	// Result dissemination: Glossy flood of the L 8-byte aggregates.
 	flood, err := glossy.Run(glossy.Config{
 		Channel:      ch,
 		Initiator:    cfg.Sink,
 		NTX:          6,
-		PayloadBytes: 12,
+		PayloadBytes: 8*vecLen + 4,
 	}, radioRNG, ledger, engine)
 	if err != nil {
 		return nil, fmt.Errorf("result flood: %w", err)
 	}
 
 	res := &RoundResult{
-		Expected:        expected,
-		Aggregate:       plain.Uint64(),
+		Expected:        expected[0],
+		ExpectedVec:     expected,
+		Aggregate:       aggregate[0],
+		AggregateVec:    aggregate,
+		VectorLen:       vecLen,
 		DeliveryRate:    float64(delivered) / float64(total),
 		Latency:         make([]time.Duration, n),
 		RadioOn:         make([]time.Duration, n),
 		CPUBusy:         cpu,
 		CiphertextBytes: modelCipherBytes,
 	}
-	res.Correct = res.Aggregate == expected
+	res.Correct = true
+	for k := range aggregate {
+		if aggregate[k] != expected[k] {
+			res.Correct = false
+			break
+		}
+	}
 
-	preFlood := cfg.Cost.Encrypt + colRes.Duration + cfg.Cost.Decrypt
+	preFlood := time.Duration(vecLen)*cfg.Cost.Encrypt + colRes.Duration +
+		time.Duration(vecLen)*cfg.Cost.Decrypt
 	var latSum time.Duration
 	latCount := 0
 	var onSum time.Duration

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"iotmpc/internal/core"
 	"iotmpc/internal/topology"
 )
 
@@ -33,6 +34,59 @@ func TestRoundCorrectAggregate(t *testing.T) {
 	}
 	if res.CiphertextBytes != 512 {
 		t.Errorf("modeled ciphertext = %dB, want 512 (2048-bit N)", res.CiphertextBytes)
+	}
+}
+
+func TestVectorRoundPaysPerCoordinate(t *testing.T) {
+	// HE has no batched-sealing discount: an L-sensor reading costs L full
+	// Paillier encryptions and decryptions, so crypto latency scales
+	// linearly in L — the asymmetry the SSS vector round is measured
+	// against.
+	scalar, err := RunRound(flockConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := flockConfig()
+	cfg.VectorLen = 4
+	vec, err := RunRound(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Correct {
+		t.Fatalf("aggregate vector %v != expected %v", vec.AggregateVec, vec.ExpectedVec)
+	}
+	if vec.VectorLen != 4 || len(vec.AggregateVec) != 4 || len(vec.ExpectedVec) != 4 {
+		t.Fatalf("vector shape: %+v", vec)
+	}
+	if vec.Aggregate != vec.AggregateVec[0] || vec.Expected != vec.ExpectedVec[0] {
+		t.Error("scalar views are not coordinate 0")
+	}
+	// Crypto dominates latency, and every coordinate pays full price: the
+	// vector round's latency must sit near 4× the scalar round's.
+	if vec.MeanLatency < 3*scalar.MeanLatency {
+		t.Errorf("vector latency %v below 3× scalar %v — HE should not batch", vec.MeanLatency, scalar.MeanLatency)
+	}
+}
+
+func TestVectorLenValidation(t *testing.T) {
+	cfg := flockConfig()
+	cfg.VectorLen = -1
+	if _, err := RunRound(cfg, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative veclen: error = %v, want ErrBadConfig", err)
+	}
+	cfg.VectorLen = MaxVectorLen + 1
+	if _, err := RunRound(cfg, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("oversized veclen: error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestMaxVectorLenMatchesSSS(t *testing.T) {
+	// The HE bound must track the SSS protocol's frame-budget bound so both
+	// sides of an HE-vs-SSS comparison accept exactly the same L range;
+	// hepda deliberately does not import core at runtime, so this test is
+	// what keeps the two constants from drifting apart.
+	if MaxVectorLen != core.MaxVectorLen {
+		t.Fatalf("hepda.MaxVectorLen = %d, core.MaxVectorLen = %d", MaxVectorLen, core.MaxVectorLen)
 	}
 }
 

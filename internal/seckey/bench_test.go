@@ -1,6 +1,7 @@
 package seckey
 
 import (
+	"fmt"
 	"testing"
 
 	"iotmpc/internal/field"
@@ -38,6 +39,98 @@ func BenchmarkOpenShare(b *testing.B) {
 		if _, err := OpenShare(key, ctx, sealed); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Vector sealing benchmarks, exported to CI as BENCH_seal.json: the win to
+// track is SealVector(L) staying far below L×SealShare — one cipher setup,
+// one CMAC pass, and one tag regardless of L.
+
+// benchVectorLens are the vector lengths the CI sealing bench sweeps: 1 is
+// the scalar-equivalent case, 4 a typical multi-sensor reading, and 16
+// shows the curve past the protocol's 14-element frame bound (seckey
+// itself has no frame limit).
+var benchVectorLens = []int{1, 4, 16}
+
+func benchValues(l int) []field.Element {
+	values := make([]field.Element, l)
+	for i := range values {
+		values[i] = field.New(uint64(i) * 0x9e3779b9)
+	}
+	return values
+}
+
+func BenchmarkSealVector(b *testing.B) {
+	s := NewStore(MasterFromSeed(1))
+	key, err := s.PairKey(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, l := range benchVectorLens {
+		b.Run(fmt.Sprintf("L=%d", l), func(b *testing.B) {
+			values := benchValues(l)
+			ctx := PacketContext{Round: 1, Sender: 1, Receiver: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Slot = uint32(i)
+				if _, err := SealVector(key, ctx, values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOpenVector(b *testing.B) {
+	s := NewStore(MasterFromSeed(1))
+	key, err := s.PairKey(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, l := range benchVectorLens {
+		b.Run(fmt.Sprintf("L=%d", l), func(b *testing.B) {
+			ctx := PacketContext{Round: 1, Sender: 1, Receiver: 2, Slot: 9}
+			sealed, err := SealVector(key, ctx, benchValues(l))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := OpenVector(key, ctx, l, sealed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSealScalarTimes is the straw man SealVector replaces: sealing an
+// L-element reading as L independent scalar packets (L cipher setups, L CMAC
+// passes, L tags). Divide by BenchmarkSealVector at the same L for the
+// per-round batching factor.
+func BenchmarkSealScalarTimes(b *testing.B) {
+	s := NewStore(MasterFromSeed(1))
+	key, err := s.PairKey(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, l := range benchVectorLens {
+		b.Run(fmt.Sprintf("L=%d", l), func(b *testing.B) {
+			values := benchValues(l)
+			ctx := PacketContext{Round: 1, Sender: 1, Receiver: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k, v := range values {
+					ctx.Slot = uint32(i*len(values) + k)
+					if _, err := SealShare(key, ctx, v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

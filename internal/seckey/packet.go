@@ -12,12 +12,20 @@ import (
 
 // Share-packet wire format (sharing phase of SSS over MiniCast):
 //
-//	byte 0..7   ciphertext of the 8-byte little-endian share value
-//	byte 8..11  truncated AES-CMAC tag (4 bytes, 802.15.4 MIC-32 style)
+//	byte 0..8L-1     ciphertext of L 8-byte little-endian share values
+//	byte 8L..8L+3    truncated AES-CMAC tag (4 bytes, 802.15.4 MIC-32 style)
 //
-// The nonce for CTR mode is derived from (round, sender, receiver, slot) so
-// every sub-slot of every round keys a unique keystream without shipping a
-// nonce on air — both endpoints know the TDMA schedule.
+// Scalar packets (SealShare/OpenShare) are the L=1 layout; vector packets
+// (SealVector/OpenVector) pack a whole shamir.ShareVector under one CTR
+// keystream and ONE MIC, so an L-sensor reading costs a single tag and a
+// single header instead of L of each.
+//
+// The nonce for CTR mode is derived from (round, sender, receiver, slot,
+// vector length) so every sub-slot of every round keys a unique keystream
+// without shipping a nonce on air — both endpoints know the TDMA schedule
+// and the deployment's configured vector length. Because the MIC covers the
+// nonce, a packet truncated or opened under the wrong vector length fails
+// authentication instead of decrypting to garbage.
 
 // TagSize is the truncated MIC length in bytes (MIC-32, as in 802.15.4
 // security level 5 which pairs encryption with a 4-byte MIC).
@@ -26,12 +34,23 @@ const TagSize = 4
 // SealedShareSize is the on-air size of an encrypted share value.
 const SealedShareSize = 8 + TagSize
 
+// MaxVectorElems bounds the element count of a sealed vector: the length is
+// bound into the packet context as a uint16.
+const MaxVectorElems = 1<<16 - 1
+
+// SealedVectorSize is the on-air size of an encrypted share vector of l
+// elements: the packed 8·l-byte payload plus one MIC for the whole vector.
+func SealedVectorSize(l int) int { return 8*l + TagSize }
+
 // Errors returned by packet sealing.
 var (
 	// ErrAuthFailed is returned when the MIC does not verify.
 	ErrAuthFailed = errors.New("seckey: packet authentication failed")
 	// ErrShortPacket is returned for truncated ciphertext.
 	ErrShortPacket = errors.New("seckey: packet too short")
+	// ErrBadVectorLen is returned for vector lengths outside
+	// [0, MaxVectorElems] — a caller bug, not a wire-corruption condition.
+	ErrBadVectorLen = errors.New("seckey: invalid vector length")
 )
 
 // PacketContext binds a sealed share to its position in the protocol so a
@@ -41,6 +60,10 @@ type PacketContext struct {
 	Sender   uint16
 	Receiver uint16
 	Slot     uint32
+	// VecLen is the element count of a sealed share vector. Scalar packets
+	// leave it zero; SealVector/OpenVector set it themselves, which binds
+	// the expected length into the nonce (and therefore the MIC).
+	VecLen uint16
 }
 
 func (c PacketContext) nonce() [aes.BlockSize]byte {
@@ -49,6 +72,7 @@ func (c PacketContext) nonce() [aes.BlockSize]byte {
 	binary.LittleEndian.PutUint16(n[4:], c.Sender)
 	binary.LittleEndian.PutUint16(n[6:], c.Receiver)
 	binary.LittleEndian.PutUint32(n[8:], c.Slot)
+	binary.LittleEndian.PutUint16(n[12:], c.VecLen)
 	return n
 }
 
@@ -96,6 +120,71 @@ func OpenShare(key Key, ctx PacketContext, sealed []byte) (field.Element, error)
 	ctr := cipher.NewCTR(block, nonce[:])
 	ctr.XORKeyStream(plain[:], sealed[:8])
 	return field.New(binary.LittleEndian.Uint64(plain[:])), nil
+}
+
+// SealVector encrypts and authenticates a whole share vector under the
+// pairwise key: one CTR keystream over the packed 8·L-byte payload and a
+// single truncated CMAC tag for the vector. ctx.VecLen is overwritten with
+// len(values), binding the length into the nonce and MIC.
+func SealVector(key Key, ctx PacketContext, values []field.Element) ([]byte, error) {
+	l := len(values)
+	if l > MaxVectorElems {
+		return nil, fmt.Errorf("%w: %d elements", ErrBadVectorLen, l)
+	}
+	ctx.VecLen = uint16(l)
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("seal cipher: %w", err)
+	}
+	plain := make([]byte, 8*l)
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(plain[8*i:], v.Uint64())
+	}
+	nonce := ctx.nonce()
+	out := make([]byte, SealedVectorSize(l))
+	ctr := cipher.NewCTR(block, nonce[:])
+	ctr.XORKeyStream(out[:8*l], plain)
+
+	mac, err := cmacOverPacket(key, ctx, out[:8*l])
+	if err != nil {
+		return nil, err
+	}
+	copy(out[8*l:], mac[:TagSize])
+	return out, nil
+}
+
+// OpenVector verifies and decrypts a sealed share vector of exactly vecLen
+// elements. A truncated packet returns ErrShortPacket; a tampered packet, or
+// one sealed under a different length, slot, or round, returns ErrAuthFailed.
+func OpenVector(key Key, ctx PacketContext, vecLen int, sealed []byte) ([]field.Element, error) {
+	if vecLen < 0 || vecLen > MaxVectorElems {
+		return nil, fmt.Errorf("%w: %d elements", ErrBadVectorLen, vecLen)
+	}
+	ctx.VecLen = uint16(vecLen)
+	ct := 8 * vecLen
+	if len(sealed) < SealedVectorSize(vecLen) {
+		return nil, fmt.Errorf("%w: %d bytes for %d elements", ErrShortPacket, len(sealed), vecLen)
+	}
+	mac, err := cmacOverPacket(key, ctx, sealed[:ct])
+	if err != nil {
+		return nil, err
+	}
+	if !tagEqual(mac[:TagSize], sealed[ct:ct+TagSize]) {
+		return nil, ErrAuthFailed
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("open cipher: %w", err)
+	}
+	nonce := ctx.nonce()
+	plain := make([]byte, ct)
+	ctr := cipher.NewCTR(block, nonce[:])
+	ctr.XORKeyStream(plain, sealed[:ct])
+	values := make([]field.Element, vecLen)
+	for i := range values {
+		values[i] = field.New(binary.LittleEndian.Uint64(plain[8*i:]))
+	}
+	return values, nil
 }
 
 // cmacOverPacket authenticates ciphertext together with the packet context

@@ -213,6 +213,145 @@ func TestOpenShortPacket(t *testing.T) {
 	}
 }
 
+func TestSealOpenVectorRoundtrip(t *testing.T) {
+	s := NewStore(MasterFromSeed(7))
+	key, err := s.PairKey(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := PacketContext{Round: 1, Sender: 2, Receiver: 5, Slot: 17}
+	for _, l := range []int{0, 1, 4, 14, 16, 100} {
+		values := make([]field.Element, l)
+		for i := range values {
+			values[i] = field.New(uint64(i)*1000000007 + 7)
+		}
+		sealed, err := SealVector(key, ctx, values)
+		if err != nil {
+			t.Fatalf("L=%d: %v", l, err)
+		}
+		if len(sealed) != SealedVectorSize(l) {
+			t.Fatalf("L=%d: sealed size = %d, want 8·L+TagSize = %d", l, len(sealed), SealedVectorSize(l))
+		}
+		got, err := OpenVector(key, ctx, l, sealed)
+		if err != nil {
+			t.Fatalf("L=%d: %v", l, err)
+		}
+		if len(got) != l {
+			t.Fatalf("L=%d: opened %d values", l, len(got))
+		}
+		for i := range got {
+			if got[i] != values[i] {
+				t.Errorf("L=%d: value %d = %v, want %v", l, i, got[i], values[i])
+			}
+		}
+	}
+}
+
+func TestOpenVectorRejectsTamper(t *testing.T) {
+	s := NewStore(MasterFromSeed(7))
+	key, _ := s.PairKey(1, 2)
+	ctx := PacketContext{Round: 3, Sender: 1, Receiver: 2, Slot: 9}
+	values := []field.Element{field.New(1), field.New(2), field.New(3), field.New(4)}
+	sealed, err := SealVector(key, ctx, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One MIC covers the whole vector: flipping ANY bit of ANY element (or
+	// of the tag) must reject the entire packet.
+	for i := range sealed {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x01
+		if _, err := OpenVector(key, ctx, 4, tampered); !errors.Is(err, ErrAuthFailed) {
+			t.Errorf("tamper byte %d: error = %v, want ErrAuthFailed", i, err)
+		}
+	}
+}
+
+func TestOpenVectorRejectsWrongLengthContext(t *testing.T) {
+	// The vector length is bound into the packet context: a packet sealed
+	// for L elements must not open as any other length, even when the
+	// ciphertext is long enough — truncation/extension attacks surface as
+	// authentication failures, never as silently reshaped vectors.
+	s := NewStore(MasterFromSeed(7))
+	key, _ := s.PairKey(1, 2)
+	ctx := PacketContext{Round: 3, Sender: 1, Receiver: 2, Slot: 9}
+	values := make([]field.Element, 8)
+	for i := range values {
+		values[i] = field.New(uint64(i))
+	}
+	sealed, err := SealVector(key, ctx, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{0, 1, 4, 7} {
+		if _, err := OpenVector(key, ctx, l, sealed); !errors.Is(err, ErrAuthFailed) {
+			t.Errorf("open as L=%d: error = %v, want ErrAuthFailed", l, err)
+		}
+	}
+	if _, err := OpenVector(key, ctx, 9, sealed); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("open as L=9: error = %v, want ErrShortPacket", err)
+	}
+	if _, err := OpenVector(key, ctx, 8, sealed[:len(sealed)-1]); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("truncated: error = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestOpenVectorRejectsReplayAcrossContext(t *testing.T) {
+	s := NewStore(MasterFromSeed(7))
+	key, _ := s.PairKey(1, 2)
+	ctx := PacketContext{Round: 5, Sender: 1, Receiver: 2, Slot: 3}
+	sealed, err := SealVector(key, ctx, []field.Element{field.New(42), field.New(43)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replays := []PacketContext{
+		{Round: 6, Sender: 1, Receiver: 2, Slot: 3}, // next round
+		{Round: 5, Sender: 1, Receiver: 2, Slot: 4}, // different slot
+		{Round: 5, Sender: 2, Receiver: 1, Slot: 3}, // reflected
+	}
+	for i, rctx := range replays {
+		if _, err := OpenVector(key, rctx, 2, sealed); !errors.Is(err, ErrAuthFailed) {
+			t.Errorf("replay %d: error = %v, want ErrAuthFailed", i, err)
+		}
+	}
+}
+
+func TestVectorScalarDomainSeparation(t *testing.T) {
+	// A scalar packet (VecLen 0 in the nonce) and a 1-element vector packet
+	// are different wire objects: neither opens as the other.
+	s := NewStore(MasterFromSeed(7))
+	key, _ := s.PairKey(1, 2)
+	ctx := PacketContext{Round: 1, Sender: 1, Receiver: 2, Slot: 5}
+	scalar, err := SealShare(key, ctx, field.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, err := SealVector(key, ctx, []field.Element{field.New(77)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenVector(key, ctx, 1, scalar); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("scalar as vector: error = %v, want ErrAuthFailed", err)
+	}
+	if _, err := OpenShare(key, ctx, vector); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("vector as scalar: error = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpenVectorBadLengths(t *testing.T) {
+	s := NewStore(MasterFromSeed(7))
+	key, _ := s.PairKey(1, 2)
+	if _, err := OpenVector(key, PacketContext{}, -1, make([]byte, 64)); !errors.Is(err, ErrBadVectorLen) {
+		t.Errorf("negative: error = %v, want ErrBadVectorLen", err)
+	}
+	if _, err := OpenVector(key, PacketContext{}, MaxVectorElems+1, nil); !errors.Is(err, ErrBadVectorLen) {
+		t.Errorf("huge: error = %v, want ErrBadVectorLen", err)
+	}
+	if _, err := SealVector(key, PacketContext{}, make([]field.Element, MaxVectorElems+1)); !errors.Is(err, ErrBadVectorLen) {
+		t.Errorf("seal huge: error = %v, want ErrBadVectorLen", err)
+	}
+}
+
 func TestCiphertextHidesValue(t *testing.T) {
 	// Same value sealed in two contexts must produce different ciphertexts
 	// (unique keystream per slot).
