@@ -63,9 +63,11 @@ func run(args []string) error {
 	var (
 		panel = fs.String("panel", "all",
 			"panel: fig1a, fig1b, fig1c, fig1d, gains, coverage, baseline, scalability, matrix, all")
-		iters = fs.Int("iters", 50, "Monte-Carlo iterations per point (paper: 2000)")
-		seed  = fs.Int64("seed", 1, "randomness seed")
-		csv   = fs.Bool("csv", false, "emit CSV instead of tables (matrix: alias for -out csv)")
+		iters      = fs.Int("iters", 50, "Monte-Carlo iterations per point (paper: 2000)")
+		seed       = fs.Int64("seed", 1, "randomness seed")
+		csv        = fs.Bool("csv", false, "emit CSV instead of tables (matrix: alias for -out csv)")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to `file` at exit")
 	)
 	fs.IntVar(&mf.workers, "workers", 0, "matrix worker goroutines (0: GOMAXPROCS)")
 	fs.StringVar(&mf.nodes, "nodes", "15,25,40", "matrix axis: comma-separated network sizes")
@@ -94,6 +96,12 @@ func run(args []string) error {
 		}
 	})
 
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
 	if *panel == "matrix" {
 		return runMatrix(mf)
 	}
@@ -121,7 +129,6 @@ func run(args []string) error {
 	}
 
 	var flockRes, dcubeRes *experiment.SweepResult
-	var err error
 	if needFlockLab {
 		flockRes, err = experiment.RunSweep(experiment.FlockLabSweep(*iters, *seed))
 		if err != nil {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunUnknownPanel(t *testing.T) {
 	if err := run([]string{"-panel", "fig9z"}); err == nil {
@@ -123,5 +127,30 @@ func TestRunMatrixFlagsRejectedOnFixedPanels(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("args %v: matrix-only flag accepted on a fixed panel", args)
 		}
+	}
+}
+
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	err := run([]string{"-panel", "matrix", "-nodes", "8", "-loss", "0.0", "-iters", "1",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	// An unwritable CPU profile path is a startup error, not a crash.
+	if err := run([]string{"-panel", "matrix", "-nodes", "8", "-iters", "1",
+		"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x.prof")}); err == nil {
+		t.Fatal("unwritable -cpuprofile accepted")
 	}
 }

@@ -67,6 +67,8 @@ func run(args []string) error {
 		progress = fs.Bool("progress", false, "narrate run progress on stderr")
 		out      = fs.String("out", "",
 			"machine output on stdout instead of the human summary: csv, jsonl")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to `file` at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +76,11 @@ func run(args []string) error {
 	if *iters < 0 {
 		return fmt.Errorf("negative -iters %d", *iters)
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	testbed, err := pickTestbed(*testbedName)
 	if err != nil {

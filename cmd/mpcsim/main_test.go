@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -129,6 +131,26 @@ func TestRunVerboseOutput(t *testing.T) {
 		"-degree", "2", "-iters", "1", "-v"}); err != nil {
 		if !strings.Contains(err.Error(), "bootstrap") {
 			t.Fatalf("run -v: %v", err)
+		}
+	}
+}
+
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	err := run([]string{"-testbed", "grid", "-iters", "1",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
 		}
 	}
 }

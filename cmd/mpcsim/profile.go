@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles enables the optional pprof outputs (-cpuprofile /
+// -memprofile): CPU sampling starts immediately, and the returned stop
+// function — safe to call exactly once, never nil — ends sampling and
+// snapshots the heap after a final GC, so hot-path work is measurable
+// with `go tool pprof` without recompiling the binary.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		memFile, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		if err := memFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}, nil
+}

@@ -45,10 +45,11 @@ func BuildTree(ch phy.Radio, sink int, threshold float64) (*Tree, error) {
 	if sink < 0 || sink >= n {
 		return nil, fmt.Errorf("%w: sink %d", ErrBadConfig, sink)
 	}
-	dist, err := phy.HopDistances(ch, sink, threshold)
-	if err != nil {
-		return nil, err
-	}
+	// The whole tree derives from link statistics, so it runs on the flat
+	// link-table snapshot: one O(n²) scan of precomputed PRRs instead of
+	// per-pair interface queries.
+	table := ch.LinkTable()
+	dist := table.HopDistances(sink, threshold)
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = -1
@@ -65,11 +66,7 @@ func BuildTree(ch phy.Radio, sink int, threshold float64) (*Tree, error) {
 			if cand == node || dist[cand] != dist[node]-1 {
 				continue
 			}
-			prr, err := ch.PRR(node, cand)
-			if err != nil {
-				return nil, err
-			}
-			if prr >= threshold && prr > bestPRR {
+			if prr := table.PRR(node, cand); prr >= threshold && prr > bestPRR {
 				bestPRR = prr
 				parent[node] = cand
 			}

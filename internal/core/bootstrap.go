@@ -106,17 +106,21 @@ func (b *Bootstrap) deriveNTXFull() error {
 	n := b.Channel.NumNodes()
 	items := probeItems(n)
 	ceiling := ntxSearchCeiling * (b.Diameter + 1)
+	// Each probe's result is folded immediately, so one arena serves the
+	// whole search, reset between probes.
+	var arena sim.Arena
 	for ntx := b.Diameter; ntx <= ceiling; ntx++ {
 		allFull := true
 		for probe := 0; probe < probesPerNTX; probe++ {
 			rng := sim.NewRNG(b.cfg.ChannelSeed, uint64(0x0B00+ntx*1000+probe))
-			res, err := minicast.Run(minicast.Config{
+			arena.Reset()
+			res, err := minicast.RunArena(minicast.Config{
 				Channel:      b.Channel,
 				Initiator:    b.cfg.Initiator,
 				NTX:          ntx,
 				Items:        items,
 				PayloadBytes: sumPayloadBytes(b.cfg.effVectorLen()),
-			}, rng, nil, nil)
+			}, rng, nil, nil, &arena)
 			if err != nil {
 				return err
 			}
@@ -144,15 +148,17 @@ func (b *Bootstrap) deriveDests() error {
 	for i := range delivered {
 		delivered[i] = make([]int, n)
 	}
+	var arena sim.Arena
 	for probe := 0; probe < probesForDests; probe++ {
 		rng := sim.NewRNG(b.cfg.ChannelSeed, uint64(0xDE57+probe))
-		res, err := minicast.Run(minicast.Config{
+		arena.Reset()
+		res, err := minicast.RunArena(minicast.Config{
 			Channel:      b.Channel,
 			Initiator:    b.cfg.Initiator,
 			NTX:          b.cfg.NTXSharing,
 			Items:        items,
 			PayloadBytes: sharePayloadBytes(b.cfg.effVectorLen()),
-		}, rng, nil, nil)
+		}, rng, nil, nil, &arena)
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"iotmpc/internal/field"
@@ -13,6 +14,12 @@ import (
 	"iotmpc/internal/trace"
 	"iotmpc/internal/vss"
 )
+
+// roundArenas pools the per-round scratch arenas the chain phases borrow
+// their buffers from. Trial workers check one out per RunRound call, so a
+// scenario's Monte-Carlo loop reuses the same warm buffers round after
+// round instead of reallocating every flood's state arrays.
+var roundArenas = sync.Pool{New: func() any { return new(sim.Arena) }}
 
 // RoundResult reports one full private-aggregation round.
 type RoundResult struct {
@@ -122,6 +129,15 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 
 	secretRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+1)
 	radioRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+2)
+
+	// All three chain phases borrow from one arena; their results must stay
+	// readable side by side until the round is folded, so the arena resets
+	// once, on the way out.
+	arena := roundArenas.Get().(*sim.Arena)
+	defer func() {
+		arena.Reset()
+		roundArenas.Put(arena)
+	}()
 
 	// Destinations: all nodes for S3, the bootstrapped common set for S4.
 	var dests []int
@@ -243,14 +259,14 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 				commitOwner = append(commitOwner, src)
 			}
 		}
-		cRes, cErr := minicast.Run(minicast.Config{
+		cRes, cErr := minicast.RunArena(minicast.Config{
 			Channel:      ch,
 			Initiator:    cfg.Initiator,
 			NTX:          ntx,
 			Items:        commitItems,
 			PayloadBytes: commitPayloadBytes,
 			Failed:       cfg.Failed,
-		}, radioRNG, ledger, engine)
+		}, radioRNG, ledger, engine, arena)
 		if cErr != nil {
 			return nil, fmt.Errorf("commitment phase: %w", cErr)
 		}
@@ -260,14 +276,14 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			fmt.Sprintf("commitments: chain=%d", len(commitItems)))
 	}
 
-	shareRes, err := minicast.Run(minicast.Config{
+	shareRes, err := minicast.RunArena(minicast.Config{
 		Channel:      ch,
 		Initiator:    cfg.Initiator,
 		NTX:          ntx,
 		Items:        shareItems,
 		PayloadBytes: sharePayloadBytes(vecLen),
 		Failed:       cfg.Failed,
-	}, radioRNG, ledger, engine)
+	}, radioRNG, ledger, engine, arena)
 	if err != nil {
 		return nil, fmt.Errorf("sharing phase: %w", err)
 	}
@@ -383,7 +399,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			return false
 		}
 	}
-	reconRes, err := minicast.Run(minicast.Config{
+	reconRes, err := minicast.RunArena(minicast.Config{
 		Channel:      ch,
 		Initiator:    cfg.Initiator,
 		NTX:          ntx,
@@ -391,7 +407,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		PayloadBytes: sumPayloadBytes(vecLen),
 		StopListen:   stopListen,
 		Failed:       cfg.Failed,
-	}, radioRNG, ledger, engine)
+	}, radioRNG, ledger, engine, arena)
 	if err != nil {
 		return nil, fmt.Errorf("reconstruction phase: %w", err)
 	}

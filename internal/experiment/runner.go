@@ -80,13 +80,18 @@ func NewRunner(opts ...Option) *Runner {
 }
 
 // Plan is what sinks learn at OnStart: the fully expanded scenario list and
-// how the sweep will execute. CacheHits cells will be served from the cache
-// without simulation.
+// how the sweep will execute. CacheHits counts the cells already known to be
+// served from the cache when execution begins — the whole matrix on a
+// manifest hit; with pipelined per-cell probing the hits are discovered
+// while the sweep runs and reported in RunSummary instead.
 type Plan struct {
 	Scenarios []Scenario
 	Workers   int
 	CacheDir  string
 	CacheHits int
+	// ManifestHit reports that the whole sweep was served from its matrix
+	// manifest — one index file open instead of one stat per cell.
+	ManifestHit bool
 }
 
 // RunSummary is what sinks learn at OnFinish.
@@ -123,6 +128,25 @@ type Sink interface {
 // (SharingChainLen/ShareAirBytes) decode with them zero; those fields
 // describe the result, they never feed back into simulation.
 const ResultCacheVersion = "iotmpc/scenario-result/v1"
+
+// manifestVersion stamps matrix manifest entries: one cache file indexing a
+// whole sweep's results. It needs no bump when ResultCacheVersion bumps —
+// the manifest key is derived from the per-cell keys, which already carry
+// the result version.
+const manifestVersion = "iotmpc/matrix-manifest/v1"
+
+// matrixManifestKey is the content address of a sweep's manifest: the
+// digest of every cell key in index order. Any change to any cell — a
+// swept value, the derived seed, a trace file's bytes, the code version —
+// changes some cell key and therefore misses the old manifest.
+func matrixManifestKey(keys []string) string {
+	payload := make([]byte, 0, len(keys)*65) // 64 hex digits + separator each
+	for _, k := range keys {
+		payload = append(payload, k...)
+		payload = append(payload, '\n')
+	}
+	return cache.Key(manifestVersion, payload)
+}
 
 // ScenarioCacheKey is the content address of a scenario's result: the
 // SHA-256 of ResultCacheVersion plus the scenario's canonical (JSON)
@@ -175,11 +199,13 @@ func (r *Runner) Run(m Matrix) ([]ScenarioResult, error) {
 	return r.RunScenarios(scenarios)
 }
 
-// compMsg reports one cell's completion from the pool to the collector.
+// compMsg reports one cell's completion from the pool or the probe
+// pipeline to the collector.
 type compMsg struct {
 	index   int
 	err     error
 	skipped bool // not executed: dispatch stopped by cancellation or failure
+	cached  bool // served by the probe pipeline from the cell cache
 }
 
 // RunScenarios executes an explicit scenario list (normally the output of
@@ -188,6 +214,18 @@ type compMsg struct {
 // worker count. The first failing cell's error is returned (deterministic:
 // the lowest failing index), and it stops the dispatch of cells that have
 // not started yet.
+//
+// With a cache configured, two mechanisms keep very large matrices from
+// paying per-cell cache latency up front:
+//
+//   - Manifest fast path: a fully completed sweep leaves one manifest
+//     entry indexing every cell result under the digest of the cell key
+//     list. An identical rerun loads the whole matrix from that single
+//     file — O(1) opens for 10⁵+ cells — before execution begins.
+//   - Probe pipeline: on a manifest miss, a prober walks the cells in
+//     index order, serving hits itself and forwarding misses straight to
+//     the worker pool, so cache I/O overlaps simulation instead of
+//     serially preceding it.
 func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	n := len(scenarios)
 
@@ -214,9 +252,14 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 
 	results := make([]ScenarioResult, n)
 	done := make([]bool, n)
-	keys := make([]string, n)
 	hits := 0
+	manifestHit := false
+	var keys []string
+	var manifestKey string
 	if store != nil {
+		// Cell keys are pure hashing over in-memory scenario encodings (plus
+		// one trace-file read per distinct spec) — cheap even at 10⁵ cells.
+		keys = make([]string, n)
 		digests := make(map[string]string, len(factories))
 		for i, sc := range scenarios {
 			digest, ok := digests[sc.Backend]
@@ -232,15 +275,19 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 				return nil, err
 			}
 			keys[i] = key
-			var res ScenarioResult
-			if ok, err := store.Get(key, &res); err != nil {
-				return nil, err
-			} else if ok {
-				res.Cached = true
-				results[i] = res
+		}
+		manifestKey = matrixManifestKey(keys)
+		var cached []ScenarioResult
+		if ok, err := store.Get(manifestKey, &cached); err != nil {
+			return nil, err
+		} else if ok && len(cached) == n {
+			for i := range cached {
+				cached[i].Cached = true
+				results[i] = cached[i]
 				done[i] = true
-				hits++
 			}
+			hits = n
+			manifestHit = true
 		}
 	}
 
@@ -248,17 +295,18 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	plan := Plan{Scenarios: scenarios, Workers: workers, CacheDir: r.cacheDir, CacheHits: hits}
+	plan := Plan{Scenarios: scenarios, Workers: workers, CacheDir: r.cacheDir,
+		CacheHits: hits, ManifestHit: manifestHit}
 	for _, s := range r.sinks {
 		if err := s.OnStart(plan); err != nil {
 			return nil, err
 		}
 	}
 
-	var misses []int
+	var pending []int
 	for i := 0; i < n; i++ {
 		if !done[i] {
-			misses = append(misses, i)
+			pending = append(pending, i)
 		}
 	}
 
@@ -279,7 +327,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 			next++
 		}
 	}
-	emit() // cached cells at the front stream out before any simulation
+	emit() // a manifest hit streams the whole matrix out before any simulation
 	if sinkErr != nil {
 		// A sink died on the cached prefix (e.g. a closed downstream pipe):
 		// abort before starting the pool rather than simulating cells whose
@@ -288,11 +336,16 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	}
 
 	var putErrors atomic.Int64
-	if len(misses) > 0 {
-		if workers > len(misses) {
-			workers = len(misses)
+	failed := false
+	if len(pending) > 0 {
+		if workers > len(pending) {
+			workers = len(pending)
 		}
 		idxCh := make(chan int)
+		// Buffered to the sweep size: the prober must keep probing (and
+		// resolving hits) while the pool is saturated with a cold prefix,
+		// not stall behind the first two outstanding misses.
+		missCh := make(chan int, len(pending))
 		compCh := make(chan compMsg)
 		stop := make(chan struct{})
 		var stopOnce func()
@@ -324,42 +377,77 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 				}
 			}()
 		}
+		// Prober: resolves each pending cell against the cache in index
+		// order, completing hits itself and handing misses to the
+		// dispatcher. Without a store it degenerates to a pass-through, and
+		// once the sweep is told to stop it forwards the remainder unprobed
+		// so the dispatcher can account for them as skipped.
 		go func() {
-			defer close(idxCh)
-			flushFrom := func(k int) {
-				for _, j := range misses[k:] {
-					compCh <- compMsg{index: j, skipped: true}
+			defer close(missCh)
+			aborted := false
+			for _, i := range pending {
+				if !aborted {
+					select {
+					case <-r.ctx.Done():
+						aborted = true
+					case <-stop:
+						aborted = true
+					default:
+					}
+				}
+				if store == nil || aborted {
+					missCh <- i
+					continue
+				}
+				var res ScenarioResult
+				ok, err := store.Get(keys[i], &res)
+				switch {
+				case err != nil:
+					compCh <- compMsg{index: i, err: err}
+				case ok:
+					res.Cached = true
+					results[i] = res
+					compCh <- compMsg{index: i, cached: true}
+				default:
+					missCh <- i
 				}
 			}
-			for k, i := range misses {
-				// Check cancellation/abort before offering the next index: a
-				// worker parked on idxCh makes both select cases ready, and
-				// select's random choice must not dispatch work after the
-				// sweep has been told to stop.
-				select {
-				case <-r.ctx.Done():
-					flushFrom(k)
-					return
-				case <-stop:
-					flushFrom(k)
-					return
-				default:
+		}()
+		// Dispatcher: forwards cache misses to the pool. The stop pre-check
+		// matters: a worker parked on idxCh makes both select cases ready,
+		// and select's random choice must not dispatch work after the sweep
+		// has been told to stop.
+		go func() {
+			defer close(idxCh)
+			stopped := false
+			for i := range missCh {
+				if !stopped {
+					select {
+					case <-r.ctx.Done():
+						stopped = true
+					case <-stop:
+						stopped = true
+					default:
+					}
+				}
+				if stopped {
+					compCh <- compMsg{index: i, skipped: true}
+					continue
 				}
 				select {
 				case idxCh <- i:
 				case <-r.ctx.Done():
-					flushFrom(k)
-					return
+					stopped = true
+					compCh <- compMsg{index: i, skipped: true}
 				case <-stop:
-					flushFrom(k)
-					return
+					stopped = true
+					compCh <- compMsg{index: i, skipped: true}
 				}
 			}
 		}()
 
 		errAt := make([]error, n)
-		failed := false
-		for pending := len(misses); pending > 0; pending-- {
+		for remaining := len(pending); remaining > 0; remaining-- {
 			msg := <-compCh
 			switch {
 			case msg.skipped:
@@ -369,6 +457,9 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 				failed = true
 				stopOnce()
 			default:
+				if msg.cached {
+					hits++
+				}
 				done[msg.index] = true
 				emit()
 				if sinkErr != nil {
@@ -393,6 +484,15 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	}
 	if sinkErr != nil {
 		return nil, sinkErr
+	}
+
+	// Every cell resolved: index the sweep under its manifest key, so the
+	// next identical run opens one file instead of probing n cells. Like
+	// cell writes, a failed manifest write only costs future speed.
+	if store != nil && !manifestHit && !failed && next == n {
+		if store.Put(manifestKey, results) != nil {
+			putErrors.Add(1)
+		}
 	}
 
 	sum := RunSummary{

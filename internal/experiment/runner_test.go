@@ -240,8 +240,9 @@ func TestRunnerCacheCorruptEntryFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != len(first) {
-		t.Fatalf("%d cache entries for %d cells", len(entries), len(first))
+	// One entry per cell plus the sweep's manifest index.
+	if len(entries) != len(first)+1 {
+		t.Fatalf("%d cache entries for %d cells (+1 manifest)", len(entries), len(first))
 	}
 	for _, e := range entries {
 		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("corrupt"), 0o644); err != nil {
@@ -266,6 +267,145 @@ func TestRunnerCacheCorruptEntryFallsBack(t *testing.T) {
 	}
 	if third.summary.Computed != 0 {
 		t.Fatalf("cache not repaired: %+v", third.summary)
+	}
+}
+
+func TestRunnerManifestFastPath(t *testing.T) {
+	dir := t.TempDir()
+	m := runnerMatrix()
+	first, err := NewRunner(WithCache(dir)).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The completed sweep left a manifest; a rerun advertises the whole
+	// matrix as cached before execution begins.
+	warm := &recordingSink{}
+	second, err := NewRunner(WithCache(dir), WithSinks(warm)).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.plan.ManifestHit || warm.plan.CacheHits != len(second) {
+		t.Fatalf("manifest not hit: plan %+v", warm.plan)
+	}
+	if !reflect.DeepEqual(first, stripCached(second)) {
+		t.Fatal("manifest-served results differ from computed results")
+	}
+
+	// The manifest alone carries the results: delete every per-cell entry
+	// and the sweep must still be served without recomputing anything —
+	// the O(1)-opens warm path for very large matrices.
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		key, err := ScenarioCacheKey(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, key+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bare := &recordingSink{}
+	third, err := NewRunner(WithCache(dir), WithSinks(bare)).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bare.plan.ManifestHit || bare.summary.Computed != 0 {
+		t.Fatalf("cell-less manifest rerun: plan %+v summary %+v", bare.plan, bare.summary)
+	}
+	if !reflect.DeepEqual(first, stripCached(third)) {
+		t.Fatal("cell-less manifest rerun diverged")
+	}
+
+	// A different matrix must miss this manifest.
+	other := m
+	other.Seed++
+	miss := &recordingSink{}
+	if _, err := NewRunner(WithCache(dir), WithSinks(miss)).Run(other); err != nil {
+		t.Fatal(err)
+	}
+	if miss.plan.ManifestHit || miss.summary.CacheHits != 0 {
+		t.Fatalf("reseeded matrix reused a stale manifest: plan %+v summary %+v",
+			miss.plan, miss.summary)
+	}
+}
+
+func TestRunnerPipelinedProbeDeterminism(t *testing.T) {
+	// A partially warm cache with no manifest forces the probe pipeline:
+	// hits resolve concurrently with computed cells, and the emitted stream
+	// must still be exactly the index-ordered results for any worker count.
+	dir := t.TempDir()
+	m := runnerMatrix()
+	baseline, err := NewRunner(WithCache(dir)).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the manifest and every even-indexed cell: half hits, half
+	// recomputes, all probed while the pool runs.
+	keys := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		if keys[i], err = ScenarioCacheKey(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, matrixManifestKey(keys)+".json")); err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	for i := range scenarios {
+		if i%2 == 0 {
+			if err := os.Remove(filepath.Join(dir, keys[i]+".json")); err != nil {
+				t.Fatal(err)
+			}
+			dropped++
+		}
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		// Each run starts from the same half-warm state: strip the manifest
+		// (and the even cells) the previous iteration rewrote.
+		if workers > 1 {
+			if err := os.Remove(filepath.Join(dir, matrixManifestKey(keys)+".json")); err != nil {
+				t.Fatal(err)
+			}
+			for i := range scenarios {
+				if i%2 == 0 {
+					if err := os.Remove(filepath.Join(dir, keys[i]+".json")); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		sink := &recordingSink{}
+		results, err := NewRunner(WithWorkers(workers), WithCache(dir), WithSinks(sink)).Run(m)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sink.plan.ManifestHit {
+			t.Fatalf("workers=%d: unexpected manifest hit", workers)
+		}
+		if sink.summary.CacheHits != len(scenarios)-dropped || sink.summary.Computed != dropped {
+			t.Fatalf("workers=%d: summary %+v, want %d hits / %d computed",
+				workers, sink.summary, len(scenarios)-dropped, dropped)
+		}
+		if !reflect.DeepEqual(sink.results, results) {
+			t.Fatalf("workers=%d: sink stream diverged from returned results", workers)
+		}
+		for i, r := range sink.results {
+			if r.Scenario.Index != i {
+				t.Fatalf("workers=%d: emission %d carries index %d", workers, i, r.Scenario.Index)
+			}
+		}
+		if !reflect.DeepEqual(baseline, stripCached(results)) {
+			t.Fatalf("workers=%d: results differ from cold baseline", workers)
+		}
 	}
 }
 

@@ -24,13 +24,19 @@ type ProgressSink struct {
 	seen  int
 }
 
-// OnStart implements Sink.
+// OnStart implements Sink. The "(manifest hit)" marker is load-bearing: the
+// CI manifest check asserts a warm rerun took the one-open fast path rather
+// than probing cells.
 func (p *ProgressSink) OnStart(plan Plan) error {
 	p.cells = len(plan.Scenarios)
 	p.seen = 0
 	cacheNote := "cache off"
 	if plan.CacheDir != "" {
-		cacheNote = fmt.Sprintf("%d cached in %s", plan.CacheHits, plan.CacheDir)
+		if plan.ManifestHit {
+			cacheNote = fmt.Sprintf("%d cached in %s (manifest hit)", plan.CacheHits, plan.CacheDir)
+		} else {
+			cacheNote = fmt.Sprintf("cache %s (cell probing overlaps execution)", plan.CacheDir)
+		}
 	}
 	_, err := fmt.Fprintf(p.W, "sweep: %d cells, %d workers, %s\n", p.cells, plan.Workers, cacheNote)
 	return err

@@ -100,12 +100,25 @@ func initiatorIndex(r *Result) int { return r.initiator }
 // ledger (optional) is credited with tx/rx time; the engine (optional) has
 // its clock advanced by the flood duration.
 func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine) (*Result, error) {
+	return RunArena(cfg, rng, ledger, engine, nil, nil)
+}
+
+// RunArena is Run with caller-managed buffer reuse: every scratch array and
+// Result backing slice is borrowed from the arena (nil: heap-allocate, as
+// Run always did), and res (nil: allocate one) is overwritten in place. The
+// returned Result aliases arena memory and is valid until the caller's next
+// a.Reset(); a warm flood — same arena, same res, Reset between floods —
+// performs zero heap allocations. Outcomes are bit-identical to Run for the
+// same RNG state: the arena changes where buffers live, never what is drawn.
+func RunArena(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine,
+	a *sim.Arena, res *Result) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	ch := cfg.Channel
 	n := ch.NumNodes()
-	slotLen, err := ch.Params().SlotDuration(cfg.PayloadBytes)
+	params := ch.Params()
+	slotLen, err := params.SlotDuration(cfg.PayloadBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -113,11 +126,18 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 	if maxSlots == 0 {
 		maxSlots = 4 * cfg.NTX * n
 	}
+	table := ch.LinkTable()
+	burstProb := params.InterferenceBurstProb // invariant for the whole flood
 
-	res := &Result{
-		Received:    make([]bool, n),
-		FirstRxSlot: make([]int, n),
-		Latency:     make([]time.Duration, n),
+	// All buffer borrows go through the arena, whose getters fall back to
+	// plain make() on a nil receiver — one allocation path for both modes.
+	if res == nil {
+		res = &Result{}
+	}
+	*res = Result{
+		Received:    a.Bools(n),
+		FirstRxSlot: a.Ints(n),
+		Latency:     a.Durations(n),
 		SlotLength:  slotLen,
 		initiator:   cfg.Initiator,
 	}
@@ -129,57 +149,86 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 	res.FirstRxSlot[cfg.Initiator] = 0
 	res.Latency[cfg.Initiator] = 0
 
-	txCount := make([]int, n)    // transmissions performed
-	txNextSlot := make([]int, n) // slot of next scheduled transmission (-1: none)
-	doneSlot := make([]int, n)   // slot after which the radio turned off (-1: still on)
-	for i := range txNextSlot {
-		txNextSlot[i] = -1
+	txCount := a.Ints(n)  // transmissions performed
+	doneSlot := a.Ints(n) // slot after which the radio turned off (-1: still on)
+	for i := range doneSlot {
 		doneSlot[i] = -1
 	}
-	txNextSlot[cfg.Initiator] = 0
 
-	var transmitters []int
+	// Slot schedule as three rotating buckets instead of a full-node scan
+	// per slot: Glossy only ever schedules a node for slot+1 (first
+	// reception) or slot+2 (relay alternation), so `cur` holds this slot's
+	// transmitters, `next1`/`next2` the two upcoming slots. `scheduled`
+	// counts nodes present in any bucket (each node is in at most one);
+	// the flood ends when it reaches zero — every budget exhausted.
+	cur := a.Ints(n)[:0]
+	next1 := a.Ints(n)[:0]
+	next2 := a.Ints(n)[:0]
+	merged := a.Ints(n)
+	cur = append(cur, cfg.Initiator)
+	scheduled := 1
+	// A bucket fills as two ascending runs — relays rescheduled two slots
+	// ago, then last slot's receivers — so tracking the run boundary turns
+	// "sort the transmitters" into a linear merge, or nothing at all when
+	// only one run is present. boundCur/boundNext1 are the run-A lengths
+	// of cur and next1.
+	boundCur, boundNext1 := 1, 0
+
+	// Undecided receivers as an ascending linked list (rxNext[n] is the
+	// head sentinel): once a node receives it never draws again, so the
+	// reception loop shrinks with coverage instead of re-scanning all n
+	// nodes every slot. Iteration order stays ascending — RNG draw order
+	// is exactly the old full scan's.
+	rxNext := a.Ints(n + 1)
+	{
+		prev := n
+		for rx := 0; rx < n; rx++ {
+			if res.Received[rx] {
+				continue // the initiator starts decided
+			}
+			rxNext[prev] = rx
+			prev = rx
+		}
+		rxNext[prev] = -1
+	}
+
 	slot := 0
 	for ; slot < maxSlots; slot++ {
-		transmitters = transmitters[:0]
-		pending := false
-		for i := 0; i < n; i++ {
-			if txNextSlot[i] < 0 || txCount[i] >= cfg.NTX {
-				continue
-			}
-			pending = true
-			if txNextSlot[i] == slot {
-				transmitters = append(transmitters, i)
-			}
-		}
-		if !pending {
+		if scheduled == 0 {
 			break
 		}
-		if len(transmitters) == 0 {
+		if len(cur) == 0 {
 			// Glossy's relay schedule alternates tx slots, so idle slots
 			// occur; the flood only ends when every budget is exhausted.
+			boundCur, boundNext1 = boundNext1, len(next2)
+			cur, next1, next2 = next1, next2, cur
 			continue
 		}
-		// Receptions.
-		burstProb := ch.Params().InterferenceBurstProb
-		for rx := 0; rx < n; rx++ {
-			if res.Received[rx] || doneSlot[rx] >= 0 {
-				continue
-			}
+		// Restore the ascending order the old full-node scan produced —
+		// transmitter order is load-bearing for backends that fold links
+		// in list order (trace union products).
+		transmitters := cur
+		if boundCur > 0 && boundCur < len(cur) {
+			transmitters = mergeRuns(merged[:0], cur[:boundCur], cur[boundCur:])
+		}
+		// Receptions, over the undecided list only.
+		for prev, rx := n, rxNext[n]; rx >= 0; {
 			if burstProb > 0 && rng.Float64() < burstProb {
+				prev, rx = rx, rxNext[rx]
 				continue // receiver blocked by an ambient interference burst
 			}
-			ok, err := ch.ReceiveConcurrentFast(rx, transmitters, rng)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
+			if table.ReceiveConcurrentFast(rx, transmitters, rng) {
 				res.Received[rx] = true
 				res.FirstRxSlot[rx] = slot
 				res.Latency[rx] = time.Duration(slot+1) * slotLen
 				// Glossy: retransmit in the immediately next slot.
-				txNextSlot[rx] = slot + 1
+				next1 = append(next1, rx)
+				scheduled++
+				rxNext[prev] = rxNext[rx] // decided: unlink, prev stands
+				rx = rxNext[rx]
+				continue
 			}
+			prev, rx = rx, rxNext[rx]
 		}
 		// Account transmissions and schedule follow-ups: Glossy alternates
 		// tx slots (tx, skip, tx, ...) so relays of the same wave stay
@@ -187,12 +236,14 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 		for _, tx := range transmitters {
 			txCount[tx]++
 			if txCount[tx] < cfg.NTX {
-				txNextSlot[tx] = slot + 2
+				next2 = append(next2, tx)
 			} else {
-				txNextSlot[tx] = -1
 				doneSlot[tx] = slot // radio off after final transmission
+				scheduled--
 			}
 		}
+		boundCur, boundNext1 = boundNext1, len(next2)
+		cur, next1, next2 = next1, next2, cur[:0]
 	}
 	res.Slots = slot
 	res.Duration = time.Duration(slot) * slotLen
@@ -208,6 +259,23 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 		}
 	}
 	return res, nil
+}
+
+// mergeRuns appends the merge of two ascending, disjoint runs to dst and
+// returns it.
+func mergeRuns(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 // Initiator returns the flood's initiating node.

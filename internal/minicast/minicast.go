@@ -161,6 +161,18 @@ func (r *Result) MeanCoverage() float64 {
 // Run executes one MiniCast round. The RNG drives reception draws; ledger
 // (optional) accumulates radio time; engine (optional) advances by Duration.
 func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine) (*Result, error) {
+	return RunArena(cfg, rng, ledger, engine, nil)
+}
+
+// RunArena is Run with every per-round buffer — the n×chainLen possession
+// and arrival matrices, wave counters, level partitions, scratch lists —
+// borrowed from the arena (nil: heap-allocate, as Run always did). The
+// returned Result aliases arena memory and is valid until the caller's next
+// a.Reset(); core.RunRound holds one arena across its chain phases and
+// resets it once per round. Outcomes are bit-identical to Run for the same
+// RNG state.
+func RunArena(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine,
+	a *sim.Arena) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -168,25 +180,43 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 	n := ch.NumNodes()
 	chainLen := len(cfg.Items)
 
-	slotLen, err := ch.Params().SlotDuration(cfg.PayloadBytes)
+	params := ch.Params()
+	slotLen, err := params.SlotDuration(cfg.PayloadBytes)
 	if err != nil {
 		return nil, err
 	}
+	burstProb := params.InterferenceBurstProb // invariant for the whole round
+	table := ch.LinkTable()
 	threshold := cfg.LevelThreshold
 	if threshold == 0 {
 		threshold = 0.5
 	}
-	levelOf, levels, err := hopLevels(ch, cfg.Initiator, threshold)
-	if err != nil {
-		return nil, err
-	}
+
+	levelOf, levels := hopLevels(table, cfg.Initiator, threshold, a)
 	numLevels := len(levels)
 	phaseLen := time.Duration(chainLen) * slotLen
 
+	// The two n×chainLen result matrices and the wave tracker share one
+	// flat backing each, sliced into rows: three allocations instead of 3n.
+	// All borrows go through the arena, whose getters fall back to plain
+	// make() on a nil receiver — one allocation path for both modes.
+	haveFlat := a.Bools(n * chainLen)
+	have := a.BoolRows(n)
+	rxFlat := a.Durations(n * chainLen)
+	rxAt := a.DurationRows(n)
+	waveFlat := a.Int32s(n * chainLen)
+	rxWave := a.Int32Rows(n)
+	for node := 0; node < n; node++ {
+		have[node] = haveFlat[node*chainLen : (node+1)*chainLen]
+		rxAt[node] = rxFlat[node*chainLen : (node+1)*chainLen]
+		rxWave[node] = waveFlat[node*chainLen : (node+1)*chainLen]
+	}
+	stoppedAt := a.Durations(n)
+
 	res := &Result{
-		Have:      make([][]bool, n),
-		RxAt:      make([][]time.Duration, n),
-		StoppedAt: make([]time.Duration, n),
+		Have:      have,
+		RxAt:      rxAt,
+		StoppedAt: stoppedAt,
 		Waves:     cfg.NTX,
 		Levels:    numLevels,
 		ChainLen:  chainLen,
@@ -195,8 +225,6 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 		Duration:  time.Duration(cfg.NTX) * time.Duration(numLevels) * phaseLen,
 	}
 	for node := 0; node < n; node++ {
-		res.Have[node] = make([]bool, chainLen)
-		res.RxAt[node] = make([]time.Duration, chainLen)
 		for i := range res.RxAt[node] {
 			res.RxAt[node][i] = -1
 		}
@@ -213,11 +241,10 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 	// an item received in wave w is relayed from wave w+1 on (a node fills a
 	// chain sub-slot only with data it held when its transmission turn came,
 	// so data moves at most one hop per wave). Owners hold from wave -1.
-	rxWave := make([][]int32, n)
+	notHeld := int32(cfg.NTX) + 1 // sentinel: not held
 	for node := 0; node < n; node++ {
-		rxWave[node] = make([]int32, chainLen)
 		for i := range rxWave[node] {
-			rxWave[node][i] = int32(cfg.NTX) + 1 // sentinel: not held
+			rxWave[node][i] = notHeld
 		}
 	}
 	for i, it := range cfg.Items {
@@ -226,9 +253,10 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 
 	// holdersAtLevel[ℓ][item] counts level-ℓ nodes holding the item; lets a
 	// phase skip sub-slots with nothing to transmit.
-	holdersAtLevel := make([][]int, numLevels)
+	holdersFlat := a.Ints(numLevels * chainLen)
+	holdersAtLevel := a.IntRows(numLevels)
 	for ℓ := range holdersAtLevel {
-		holdersAtLevel[ℓ] = make([]int, chainLen)
+		holdersAtLevel[ℓ] = holdersFlat[ℓ*chainLen : (ℓ+1)*chainLen]
 	}
 	for i, it := range cfg.Items {
 		if ℓ := levelOf[it.Owner]; ℓ >= 0 {
@@ -236,7 +264,7 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 		}
 	}
 	// listenSlots[node] counts sub-slots the node's filter admits.
-	listenSlots := make([]int, n)
+	listenSlots := a.Ints(n)
 	for node := 0; node < n; node++ {
 		if cfg.ListenFilter == nil {
 			listenSlots[node] = chainLen
@@ -248,10 +276,14 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 			}
 		}
 	}
-	stopped := make([]bool, n)
-	jammedScratch := make([]bool, n)
+	stopped := a.Bools(n)
+	jammed := a.Bools(n)
+	// txEligible[node] snapshots, per phase, how many items a level node may
+	// transmit (for radio accounting); written for every level node before
+	// creditPhase reads it, so no per-phase clearing is needed.
+	txEligible := a.Ints(n)
 
-	var txers []int
+	txers := a.Ints(n)[:0]
 	for wave := 0; wave < cfg.NTX; wave++ {
 		for ℓ := 0; ℓ < numLevels; ℓ++ {
 			phaseStart := (time.Duration(wave)*time.Duration(numLevels) + time.Duration(ℓ)) * phaseLen
@@ -270,8 +302,6 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 			}
 
 			// Ambient interference bursts block whole phases per node.
-			burstProb := ch.Params().InterferenceBurstProb
-			jammed := jammedScratch
 			for node := 0; node < n; node++ {
 				jammed[node] = burstProb > 0 && rng.Float64() < burstProb
 			}
@@ -279,7 +309,6 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 			levelNodes := levels[ℓ]
 			// Snapshot per-node transmit-eligible item counts before the
 			// phase mutates holdings (for radio accounting).
-			txEligible := make(map[int]int, len(levelNodes))
 			for _, node := range levelNodes {
 				count := 0
 				for i := range cfg.Items {
@@ -311,11 +340,7 @@ func Run(cfg Config, rng *rand.Rand, ledger *sim.RadioLedger, engine *sim.Engine
 						continue
 					}
 					// A same-level node not holding the item listens too.
-					ok, err := ch.ReceiveConcurrentFast(rx, txers, rng)
-					if err != nil {
-						return nil, err
-					}
-					if !ok {
+					if !table.ReceiveConcurrentFast(rx, txers, rng) {
 						continue
 					}
 					res.Have[rx][itemIdx] = true
@@ -353,7 +378,7 @@ func isFailed(cfg Config, node int) bool {
 // items they lack); listening nodes pay rx for the sub-slots their filter
 // admits; stopped and failed nodes pay nothing beyond their own tx duties.
 func creditPhase(ledger *sim.RadioLedger, cfg Config, levelOf []int, phase int,
-	txEligible map[int]int, listenSlots []int, stopped []bool, slotLen time.Duration, chainLen int) error {
+	txEligible []int, listenSlots []int, stopped []bool, slotLen time.Duration, chainLen int) error {
 	for node := range levelOf {
 		if isFailed(cfg, node) {
 			continue
@@ -381,24 +406,40 @@ func creditPhase(ledger *sim.RadioLedger, cfg Config, levelOf []int, phase int,
 }
 
 // hopLevels partitions nodes into TDMA levels by hop distance from the
-// initiator. Unreachable nodes get level -1 and never transmit.
-func hopLevels(ch phy.Radio, initiator int, threshold float64) ([]int, [][]int, error) {
-	dist, err := phy.HopDistances(ch, initiator, threshold)
-	if err != nil {
-		return nil, nil, err
-	}
+// initiator (link-table lookups, arena-borrowed buffers). Unreachable nodes
+// get level -1 and never transmit. Level membership is in ascending node
+// order, exactly as the historical per-level appends produced.
+func hopLevels(table *phy.LinkTable, initiator int, threshold float64, a *sim.Arena) ([]int, [][]int) {
+	n := table.NumNodes()
+	dist := a.Ints(n)
+	table.HopDistancesInto(dist, initiator, threshold)
 	maxLevel := 0
 	for _, d := range dist {
 		if d > maxLevel {
 			maxLevel = d
 		}
 	}
-	levels := make([][]int, maxLevel+1)
+	counts := a.Ints(maxLevel + 1)
+	reachable := 0
+	for _, d := range dist {
+		if d >= 0 {
+			counts[d]++
+			reachable++
+		}
+	}
+	// One flat member array carved into per-level windows.
+	flat := a.Ints(reachable)
+	levels := a.IntRows(maxLevel + 1)
+	off := 0
+	for ℓ := range levels {
+		levels[ℓ] = flat[off : off : off+counts[ℓ]]
+		off += counts[ℓ]
+	}
 	for node, d := range dist {
 		if d < 0 {
 			continue
 		}
 		levels[d] = append(levels[d], node)
 	}
-	return dist, levels, nil
+	return dist, levels
 }

@@ -73,6 +73,45 @@ func BenchmarkBackendReceiveConcurrentFast(b *testing.B) {
 	}
 }
 
+// BenchmarkLinkTableReceiveConcurrentFast is the flood kernel's actual hot
+// path since the LinkTable refactor: the same draw as the interface bench
+// above, served from the flat snapshot with no dispatch and no error
+// returns. The gap between the two is what the table buys per draw.
+func BenchmarkLinkTableReceiveConcurrentFast(b *testing.B) {
+	const n = 24
+	pos := benchPositions(n)
+	logdist, err := phy.NewLogDistance(phy.DefaultParams(), pos, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unitdisk, err := phy.NewUnitDisk(phy.DefaultParams(), pos, 40, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay, err := trace.NewChannel(phy.DefaultParams(), benchTrace(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	transmitters := []int{1, 2, 3, 4}
+	for _, bc := range []struct {
+		name  string
+		radio phy.Radio
+	}{
+		{"logdist", logdist},
+		{"unitdisk", unitdisk},
+		{"trace", replay},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			table := bc.radio.LinkTable()
+			rng := rand.New(rand.NewSource(3))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				table.ReceiveConcurrentFast(i%n, transmitters, rng)
+			}
+		})
+	}
+}
+
 // BenchmarkUnitDiskPRR isolates the pure geometry query of the idealized
 // backend (no RNG), the floor of what any backend dispatch can cost.
 func BenchmarkUnitDiskPRR(b *testing.B) {

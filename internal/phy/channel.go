@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Position is a node location in meters.
@@ -38,6 +39,9 @@ type LogDistance struct {
 	positions []Position
 	// rssi[i][j] is the mean received power at j when i transmits.
 	rssi [][]float64
+
+	tableOnce sync.Once
+	table     *LinkTable
 }
 
 // Channel is the historical name of the LogDistance backend; it predates the
@@ -189,6 +193,14 @@ func (c *Channel) ReceiveConcurrentFast(rx int, transmitters []int, rng *rand.Ra
 	faded := best + rng.NormFloat64()*c.params.FadingSigmaDB +
 		c.params.CTGainDB*math.Log2(float64(len(transmitters)))
 	return rng.Float64() < c.prrFromRSSI(faded), nil
+}
+
+// LinkTable returns the flat snapshot of the log-distance link model (mean
+// RSSI plus the derived PRR per directed link). Built lazily once; floods
+// sharing the channel across goroutines all see the same table.
+func (c *Channel) LinkTable() *LinkTable {
+	c.tableOnce.Do(func() { c.table = newLogDistanceTable(c.params, c.rssi) })
+	return c.table
 }
 
 // ReceiveCapture draws a reception attempt at rx when the transmitters carry

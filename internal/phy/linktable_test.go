@@ -1,0 +1,133 @@
+package phy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/phy"
+)
+
+// The LinkTable contract is exactness: for the same RNG state, the table's
+// draws must consume the same randomness in the same order and return the
+// same outcomes as the Radio method they shadow. These tests drive paired
+// RNGs through long interleaved call sequences and then compare both the
+// outcomes and the RNG states (via a follow-up draw), so a single skipped
+// or extra draw anywhere in the sequence fails.
+
+// assertTableMatchesRadio cross-checks table-vs-interface on many
+// transmitter sets, then confirms the paired RNG streams stayed aligned.
+func assertTableMatchesRadio(t *testing.T, r phy.Radio) {
+	t.Helper()
+	n := r.NumNodes()
+	table := r.LinkTable()
+	if table.NumNodes() != n {
+		t.Fatalf("table has %d nodes, radio %d", table.NumNodes(), n)
+	}
+	if r.LinkTable() != table {
+		t.Fatal("LinkTable not cached: second call returned a different snapshot")
+	}
+
+	// Static link statistics agree everywhere (including the diagonal).
+	for tx := 0; tx < n; tx++ {
+		for rx := 0; rx < n; rx++ {
+			want, err := r.PRR(tx, rx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := table.PRR(tx, rx); got != want {
+				t.Fatalf("PRR(%d,%d): table %v, radio %v", tx, rx, got, want)
+			}
+			if got, want := table.Certain(tx, rx), want <= 0 || want >= 1; got != want {
+				t.Fatalf("Certain(%d,%d) = %v, want %v", tx, rx, got, want)
+			}
+		}
+	}
+
+	// Hop distances agree for a spread of thresholds and sources.
+	for _, threshold := range []float64{0.3, 0.5, 0.9} {
+		for src := 0; src < n; src += 3 {
+			want, err := phy.HopDistances(r, src, threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := table.HopDistances(src, threshold)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("HopDistances(src=%d, th=%.1f)[%d]: table %d, radio %d",
+						src, threshold, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Reception draws: identical outcomes on identical RNG streams, across
+	// single transmitters, concurrent sets, sets including the receiver,
+	// and empty sets.
+	direct := rand.New(rand.NewSource(42))
+	tabled := rand.New(rand.NewSource(42))
+	pick := rand.New(rand.NewSource(7))
+	set := make([]int, 0, n)
+	for trial := 0; trial < 4000; trial++ {
+		rx := pick.Intn(n)
+		set = set[:0]
+		for node := 0; node < n; node++ {
+			if pick.Intn(n) < 3 {
+				set = append(set, node)
+			}
+		}
+		want, err := r.ReceiveConcurrentFast(rx, set, direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := table.ReceiveConcurrentFast(rx, set, tabled); got != want {
+			t.Fatalf("trial %d: rx=%d txers=%v: table %v, radio %v", trial, rx, set, got, want)
+		}
+	}
+	if direct.Int63() != tabled.Int63() {
+		t.Fatal("RNG streams diverged: the table consumed different randomness than the radio")
+	}
+}
+
+func TestLinkTableMatchesLogDistance(t *testing.T) {
+	ch, err := phy.NewLogDistance(phy.DefaultParams(), benchPositions(20), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableMatchesRadio(t, ch)
+}
+
+func TestLinkTableMatchesUnitDisk(t *testing.T) {
+	// The gray zone makes some links probabilistic (draws consume
+	// randomness) while others stay certain (draws must not) — both paths
+	// have to agree with the geometry-computing original.
+	hard, err := phy.NewUnitDisk(phy.IdealParams(), benchPositions(20), 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableMatchesRadio(t, hard)
+
+	gray, err := phy.NewUnitDisk(phy.DefaultParams(), benchPositions(20), 30, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableMatchesRadio(t, gray)
+}
+
+func TestLinkTableCertainDrawsConsumeNoRandomness(t *testing.T) {
+	// Hard unit disk: every link PRR is 0 or 1, so a full sweep of draws
+	// must leave the RNG untouched.
+	u, err := phy.NewUnitDisk(phy.IdealParams(), benchPositions(16), 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := u.LinkTable()
+	rng := rand.New(rand.NewSource(9))
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(9))
+	for rx := 0; rx < 16; rx++ {
+		table.ReceiveConcurrentFast(rx, []int{(rx + 1) % 16, (rx + 2) % 16}, rng)
+	}
+	if rng.Int63() != before {
+		t.Fatal("certain draws consumed randomness")
+	}
+}

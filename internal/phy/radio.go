@@ -50,6 +50,13 @@ type Radio interface {
 	// carry DIFFERENT packets (a collision); it returns the index into
 	// transmitters of the captured sender, or -1.
 	ReceiveCapture(rx int, transmitters []int, rng *rand.Rand) (int, error)
+	// LinkTable returns the backend's flat link snapshot — the batched
+	// form of the queries above that the flood kernel runs on. The table's
+	// ReceiveConcurrentFast is draw-for-draw identical to the method above
+	// (same RNG consumption, same outcomes) at table-lookup cost. Backends
+	// build the snapshot lazily once and return the same table thereafter;
+	// it is safe for concurrent readers.
+	LinkTable() *LinkTable
 }
 
 // Factory builds a Radio over node positions. It is the hook that makes the

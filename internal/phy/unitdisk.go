@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // UnitDisk is the idealized radio backend: a transmission is received with
@@ -27,6 +28,9 @@ type UnitDisk struct {
 	positions []Position
 	radius    float64
 	gray      float64
+
+	tableOnce sync.Once
+	table     *LinkTable
 }
 
 var _ Radio = (*UnitDisk)(nil)
@@ -166,6 +170,24 @@ func (u *UnitDisk) receiveBest(rx int, transmitters []int, rng *rand.Rand) (bool
 		}
 	}
 	return Draw(best, rng), nil
+}
+
+// LinkTable returns the flat snapshot of the disk geometry: every pairwise
+// PRR evaluated once, so flood loops look links up instead of recomputing
+// Euclidean distances per draw. Built lazily once.
+func (u *UnitDisk) LinkTable() *LinkTable {
+	u.tableOnce.Do(func() {
+		n := len(u.positions)
+		prr := make([][]float64, n)
+		for tx := 0; tx < n; tx++ {
+			prr[tx] = make([]float64, n)
+			for rx := 0; rx < n; rx++ {
+				prr[tx][rx] = u.prr(tx, rx)
+			}
+		}
+		u.table = BestPRRTable(prr)
+	})
+	return u.table
 }
 
 // ReceiveCapture implements the idealized collision rule: a packet is

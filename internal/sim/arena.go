@@ -1,0 +1,149 @@
+package sim
+
+import "time"
+
+// Arena recycles the scratch and result buffers of the simulation hot
+// path. Every scenario cell bottoms out in thousands of floods and chain
+// phases, and each of those historically paid a dozen fresh slice
+// allocations; an Arena lets the protocol kernels borrow buffers instead,
+// so a warm flood runs with zero heap allocations (asserted by
+// testing.AllocsPerRun in internal/glossy).
+//
+// Usage contract:
+//
+//   - Borrow with the typed getters (Ints, Bools, ...). Returned slices
+//     have exactly the requested length and are zeroed, like make().
+//   - Reset returns every outstanding borrow to the free list at once;
+//     all slices borrowed since the previous Reset — including any
+//     result structures built on them — are invalidated.
+//   - An Arena is single-goroutine state. Concurrent trial workers each
+//     own one (core pools them); a zero Arena is ready to use.
+//
+// After warm-up the free lists hold one buffer per borrow site at the
+// high-water capacity, so a steady-state borrow is a pop + memclr.
+type Arena struct {
+	ints     slicePool[int]
+	int32s   slicePool[int32]
+	bools    slicePool[bool]
+	durs     slicePool[time.Duration]
+	intRows  slicePool[[]int]
+	boolRows slicePool[[]bool]
+	durRows  slicePool[[]time.Duration]
+	i32Rows  slicePool[[]int32]
+}
+
+// Every getter accepts a nil receiver and falls back to a plain make():
+// the protocol kernels take an optional *Arena, and nil-safety here keeps
+// their arena and heap paths one code path instead of duplicated branches.
+
+// Ints borrows a zeroed []int of length n.
+func (a *Arena) Ints(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return a.ints.get(n)
+}
+
+// Int32s borrows a zeroed []int32 of length n.
+func (a *Arena) Int32s(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return a.int32s.get(n)
+}
+
+// Bools borrows a zeroed []bool of length n.
+func (a *Arena) Bools(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	return a.bools.get(n)
+}
+
+// Durations borrows a zeroed []time.Duration of length n.
+func (a *Arena) Durations(n int) []time.Duration {
+	if a == nil {
+		return make([]time.Duration, n)
+	}
+	return a.durs.get(n)
+}
+
+// IntRows borrows a nil-filled [][]int of length n (row headers only; the
+// rows themselves are borrowed separately).
+func (a *Arena) IntRows(n int) [][]int {
+	if a == nil {
+		return make([][]int, n)
+	}
+	return a.intRows.get(n)
+}
+
+// BoolRows borrows a nil-filled [][]bool of length n.
+func (a *Arena) BoolRows(n int) [][]bool {
+	if a == nil {
+		return make([][]bool, n)
+	}
+	return a.boolRows.get(n)
+}
+
+// DurationRows borrows a nil-filled [][]time.Duration of length n.
+func (a *Arena) DurationRows(n int) [][]time.Duration {
+	if a == nil {
+		return make([][]time.Duration, n)
+	}
+	return a.durRows.get(n)
+}
+
+// Int32Rows borrows a nil-filled [][]int32 of length n.
+func (a *Arena) Int32Rows(n int) [][]int32 {
+	if a == nil {
+		return make([][]int32, n)
+	}
+	return a.i32Rows.get(n)
+}
+
+// Reset returns every outstanding borrow to the arena, invalidating all
+// slices handed out since the previous Reset. Reset on a nil Arena is a
+// no-op.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.ints.reset()
+	a.int32s.reset()
+	a.bools.reset()
+	a.durs.reset()
+	a.intRows.reset()
+	a.boolRows.reset()
+	a.durRows.reset()
+	a.i32Rows.reset()
+}
+
+// slicePool recycles slices of one element type between Resets.
+type slicePool[T any] struct {
+	free [][]T
+	used [][]T
+}
+
+func (p *slicePool[T]) get(n int) []T {
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= n {
+			s := p.free[i][:n]
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free = p.free[:last]
+			clear(s)
+			p.used = append(p.used, s)
+			return s
+		}
+	}
+	s := make([]T, n)
+	p.used = append(p.used, s)
+	return s
+}
+
+func (p *slicePool[T]) reset() {
+	for _, s := range p.used {
+		p.free = append(p.free, s[:cap(s)])
+	}
+	p.used = p.used[:0]
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArenaBorrowsAreZeroedAndSized(t *testing.T) {
+	var a Arena
+	xs := a.Ints(5)
+	for i := range xs {
+		xs[i] = i + 1
+	}
+	bs := a.Bools(3)
+	bs[0] = true
+	ds := a.Durations(2)
+	ds[1] = time.Second
+	rows := a.BoolRows(2)
+	rows[0] = bs
+
+	a.Reset()
+	// Same capacities come back, zeroed, regardless of the garbage left in
+	// them by the previous borrower.
+	xs2 := a.Ints(5)
+	if len(xs2) != 5 {
+		t.Fatalf("len %d, want 5", len(xs2))
+	}
+	for i, v := range xs2 {
+		if v != 0 {
+			t.Fatalf("reused int slice not zeroed at %d: %d", i, v)
+		}
+	}
+	for _, b := range a.Bools(3) {
+		if b {
+			t.Fatal("reused bool slice not zeroed")
+		}
+	}
+	for _, d := range a.Durations(2) {
+		if d != 0 {
+			t.Fatal("reused duration slice not zeroed")
+		}
+	}
+	for _, r := range a.BoolRows(2) {
+		if r != nil {
+			t.Fatal("reused row slice not nil-filled")
+		}
+	}
+}
+
+func TestArenaReusesBuffersAcrossResets(t *testing.T) {
+	var a Arena
+	first := a.Ints(64)
+	a.Reset()
+	second := a.Ints(64)
+	if &first[0] != &second[0] {
+		t.Fatal("reset did not recycle the buffer")
+	}
+	// A larger request after warm-up allocates fresh rather than aliasing.
+	third := a.Ints(128)
+	if len(third) != 128 {
+		t.Fatalf("len %d, want 128", len(third))
+	}
+	// Distinct borrows between resets never alias.
+	fourth := a.Ints(64)
+	if &fourth[0] == &second[0] {
+		t.Fatal("outstanding borrows alias each other")
+	}
+}
+
+func TestArenaWarmBorrowsDoNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is not meaningful under the race detector")
+	}
+	var a Arena
+	warm := func() {
+		a.Reset()
+		_ = a.Ints(40)
+		_ = a.Bools(40)
+		_ = a.Durations(40)
+		_ = a.Int32s(40)
+		_ = a.IntRows(8)
+		_ = a.BoolRows(8)
+		_ = a.DurationRows(8)
+		_ = a.Int32Rows(8)
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Fatalf("warm arena borrows allocate %.1f objects per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotmpc/internal/phy"
+)
+
+// TestLinkTableMatchesTraceChannel pins the third backend's table to its
+// Radio methods: identical PRRs, identical union-probability draws on
+// identical RNG streams (the union product folds links in transmitter-list
+// order, so even the floating-point rounding must agree), and certain
+// links consuming no randomness.
+func TestLinkTableMatchesTraceChannel(t *testing.T) {
+	tr, err := Bundled("testbed10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(phy.DefaultParams(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ch.NumNodes()
+	table := ch.LinkTable()
+	if table.NumNodes() != n {
+		t.Fatalf("table has %d nodes, trace %d", table.NumNodes(), n)
+	}
+	if ch.LinkTable() != table {
+		t.Fatal("LinkTable not cached: second call returned a different snapshot")
+	}
+	for tx := 0; tx < n; tx++ {
+		for rx := 0; rx < n; rx++ {
+			want, err := ch.PRR(tx, rx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := table.PRR(tx, rx); got != want {
+				t.Fatalf("PRR(%d,%d): table %v, trace %v", tx, rx, got, want)
+			}
+		}
+	}
+	for _, threshold := range []float64{0.3, 0.5, 0.9} {
+		want, err := phy.HopDistances(ch, 0, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := table.HopDistances(0, threshold)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("HopDistances(th=%.1f)[%d]: table %d, trace %d", threshold, i, got[i], want[i])
+			}
+		}
+	}
+
+	direct := rand.New(rand.NewSource(11))
+	tabled := rand.New(rand.NewSource(11))
+	pick := rand.New(rand.NewSource(3))
+	set := make([]int, 0, n)
+	for trial := 0; trial < 4000; trial++ {
+		rx := pick.Intn(n)
+		set = set[:0]
+		for node := 0; node < n; node++ {
+			if pick.Intn(n) < 3 {
+				set = append(set, node)
+			}
+		}
+		want, err := ch.ReceiveConcurrentFast(rx, set, direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := table.ReceiveConcurrentFast(rx, set, tabled); got != want {
+			t.Fatalf("trial %d: rx=%d txers=%v: table %v, trace %v", trial, rx, set, got, want)
+		}
+	}
+	if direct.Int63() != tabled.Int63() {
+		t.Fatal("RNG streams diverged: the table consumed different randomness than the trace replay")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"iotmpc/internal/phy"
 )
@@ -18,6 +19,9 @@ import (
 type Channel struct {
 	params phy.Params
 	tr     *LinkTrace
+
+	tableOnce sync.Once
+	table     *phy.LinkTable
 }
 
 var _ phy.Radio = (*Channel)(nil)
@@ -140,6 +144,14 @@ func (c *Channel) receiveUnion(rx int, transmitters []int, rng *rand.Rand) (bool
 		miss *= 1 - c.tr.PRR[tx][rx]
 	}
 	return phy.Draw(1-miss, rng), nil
+}
+
+// LinkTable returns the flat snapshot of the recorded PRR matrix, whose
+// concurrent receptions draw on the union probability of independent links
+// — exactly this backend's semantics. Built lazily once.
+func (c *Channel) LinkTable() *phy.LinkTable {
+	c.tableOnce.Do(func() { c.table = phy.UnionPRRTable(c.tr.PRR) })
+	return c.table
 }
 
 // ReceiveCapture draws a collision of different packets: the best recorded
