@@ -51,7 +51,7 @@ type matrixFlags struct {
 	veclen                       string
 	iters                        int
 	seed                         int64
-	workers                      int
+	workers, lanes               int
 	csv, progress                bool
 	cacheDir, out                string
 	outSet                       bool
@@ -70,6 +70,8 @@ func run(args []string) error {
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile to `file` at exit")
 	)
 	fs.IntVar(&mf.workers, "workers", 0, "matrix worker goroutines (0: GOMAXPROCS)")
+	fs.IntVar(&mf.lanes, "lanes", 0,
+		"matrix: bit-sliced trial batch width 1..64 (0: default 64; 1: scalar reference path; results are identical for any width)")
 	fs.StringVar(&mf.nodes, "nodes", "15,25,40", "matrix axis: comma-separated network sizes")
 	fs.StringVar(&mf.degrees, "degrees", "0", "matrix axis: polynomial degrees (0: n/3)")
 	fs.StringVar(&mf.loss, "loss", "0.0,0.2,0.4", "matrix axis: interference burst probabilities")
@@ -110,7 +112,7 @@ func run(args []string) error {
 	var misused []string
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "workers", "nodes", "degrees", "loss", "phy",
+		case "workers", "lanes", "nodes", "degrees", "loss", "phy",
 			"ntx", "slack", "fail", "verifiable", "veclen", "cache", "progress", "out":
 			misused = append(misused, "-"+f.Name)
 		}
@@ -281,6 +283,7 @@ func runMatrix(mf matrixFlags) error {
 	}
 	opts := []experiment.Option{
 		experiment.WithWorkers(mf.workers),
+		experiment.WithLanes(mf.lanes),
 		experiment.WithSinks(sink),
 	}
 	if mf.progress {

@@ -55,8 +55,10 @@ func run(args []string) error {
 			"per-source reading-vector length L (0: scalar; L seals one 8·L-byte vector + one MIC per destination)")
 		iters   = fs.Int("iters", 20, "Monte-Carlo iterations")
 		workers = fs.Int("workers", 1, "iteration worker goroutines (0: GOMAXPROCS)")
-		seed    = fs.Int64("seed", 1, "randomness seed")
-		loss    = fs.Float64("loss", experiment.DefaultLossRate,
+		lanes   = fs.Int("lanes", 0,
+			"bit-sliced trial batch width 1..64 (0: default 64; 1: scalar reference path; results are identical for any width)")
+		seed = fs.Int64("seed", 1, "randomness seed")
+		loss = fs.Float64("loss", experiment.DefaultLossRate,
 			"interference burst probability in [0,1)")
 		phySpec = fs.String("phy", "logdist",
 			"radio backend: logdist, unitdisk[:R[:G]], or trace:<name-or-file>")
@@ -108,10 +110,16 @@ func run(args []string) error {
 		return backend, nil
 	}
 
-	runnerFlags := *cacheDir != "" || *progress || *out != ""
+	lanesSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "lanes" {
+			lanesSet = true
+		}
+	})
+	runnerFlags := *cacheDir != "" || *progress || *out != "" || lanesSet
 	if strings.EqualFold(*protoName, "he") {
 		if runnerFlags {
-			return fmt.Errorf("-cache/-progress/-out do not apply to the HE baseline")
+			return fmt.Errorf("-cache/-progress/-out/-lanes do not apply to the HE baseline")
 		}
 		backend, err := parseBackend()
 		if err != nil {
@@ -126,7 +134,7 @@ func run(args []string) error {
 
 	if *verbose || *dumpTrace {
 		if runnerFlags {
-			return fmt.Errorf("-v/-trace use the direct loop; they cannot combine with -cache/-progress/-out")
+			return fmt.Errorf("-v/-trace use the direct loop; they cannot combine with -cache/-progress/-out/-lanes")
 		}
 		backend, err := parseBackend()
 		if err != nil {
@@ -168,6 +176,7 @@ func run(args []string) error {
 	}
 	opts := []experiment.Option{
 		experiment.WithTrialWorkers(*workers),
+		experiment.WithLanes(*lanes),
 		experiment.WithSinks(sinks...),
 	}
 	if *cacheDir != "" {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -93,73 +94,66 @@ func RunRoundWithSecrets(boot *Bootstrap, trial uint64, secrets map[int]uint64) 
 	return RunRoundTraced(boot, trial, secrets, nil)
 }
 
-// RunRoundTraced is RunRoundWithSecrets with an optional event recorder; a
-// nil recorder is a no-op sink.
-//
-// The round is vectorized end to end: every source shares a VectorLen-long
-// reading vector (shamir.SplitVec — one polynomial per coordinate), ships
-// ONE sealed vector per destination (seckey.SealVector — one MIC for the
-// whole vector), destinations aggregate share vectors coordinate-wise, and
-// reconstruction recovers the full aggregate vector from one cached
-// Lagrange basis (shamir.ReconstructVec). Scalar rounds are the L=1
-// degenerate case and produce results bit-identical to the historical
-// one-share-per-packet path.
-func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *trace.Recorder) (*RoundResult, error) {
-	if boot == nil || boot.Channel == nil {
-		return nil, fmt.Errorf("%w: nil bootstrap", ErrBadConfig)
-	}
-	cfg := boot.cfg
-	if secrets != nil {
-		for _, s := range cfg.Sources {
-			if _, ok := secrets[s]; !ok {
-				return nil, fmt.Errorf("%w: no secret for source %d", ErrBadConfig, s)
-			}
-		}
-		cfg.Secrets = secrets
-	}
+// sharePrep is everything one trial computes before any packet is on the
+// air: the sources' readings, their sealed share deliveries, the chain item
+// layouts, and the (lane-independent) destination/NTX schedule. The item
+// lists depend only on the bootstrap and the source set, never on the
+// trial, which is what lets the lane path run one chain pass for a whole
+// trial batch.
+type sharePrep struct {
+	expected    []field.Element
+	deliveries  []shareDelivery
+	localShares map[int][]shamir.ShareVector
+	commits     map[int][]*vss.Commitment
+	shareGenMax time.Duration
+	shareItems  []minicast.Item
+	commitItems []minicast.Item
+	commitOwner []int // commitment chain index → source
+	dests       []int
+	ntx         int
+	vecLen      int
+	vecMode     bool
+}
+
+// prepareShares runs the on-node compute prologue of one trial: draw the
+// readings from secretRNG, split them (Feldman-dealt in verifiable mode),
+// seal one vector per (source, destination), and lay out the sharing and
+// commitment chains.
+func prepareShares(boot *Bootstrap, cfg Config, trial uint64, secretRNG *rand.Rand,
+	rec *trace.Recorder) (*sharePrep, error) {
 	ch := boot.Channel
 	n := ch.NumNodes()
 	points := shamir.PublicPoints(n)
 	keys := cfg.keyStore()
-	vecLen := cfg.effVectorLen()
-	// vecMode distinguishes an explicit vector deployment (VectorLen >= 1)
-	// from the scalar default only where the OUTPUT must stay byte-stable
-	// for historical configurations: trace event detail strings.
-	vecMode := cfg.VectorLen > 0
 
-	secretRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+1)
-	radioRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+2)
-
-	// All three chain phases borrow from one arena; their results must stay
-	// readable side by side until the round is folded, so the arena resets
-	// once, on the way out.
-	arena := roundArenas.Get().(*sim.Arena)
-	defer func() {
-		arena.Reset()
-		roundArenas.Put(arena)
-	}()
-
+	p := &sharePrep{
+		vecLen: cfg.effVectorLen(),
+		// vecMode distinguishes an explicit vector deployment (VectorLen
+		// >= 1) from the scalar default only where the OUTPUT must stay
+		// byte-stable for historical configurations: trace event details.
+		vecMode: cfg.VectorLen > 0,
+		ntx:     cfg.NTXSharing,
+	}
 	// Destinations: all nodes for S3, the bootstrapped common set for S4.
-	var dests []int
 	switch cfg.Protocol {
 	case S3:
-		dests = make([]int, n)
-		for i := range dests {
-			dests[i] = i
+		p.dests = make([]int, n)
+		for i := range p.dests {
+			p.dests[i] = i
 		}
+		p.ntx = boot.NTXFull
 	case S4:
-		dests = boot.Dests
+		p.dests = boot.Dests
 	}
-	// --- Secret generation and share preparation (on-node compute). ---
-	expected := make([]field.Element, vecLen)
-	deliveries := make([]shareDelivery, 0, len(cfg.Sources)*len(dests))
+	vecLen := p.vecLen
+
+	p.expected = make([]field.Element, vecLen)
+	p.deliveries = make([]shareDelivery, 0, len(cfg.Sources)*len(p.dests))
 	// localShares[j] collects share vectors that never ride the chain
 	// because the source is its own destination.
-	localShares := make(map[int][]shamir.ShareVector, len(cfg.Sources))
-	var shareGenMax time.Duration
-
+	p.localShares = make(map[int][]shamir.ShareVector, len(cfg.Sources))
 	// commits[src][k] is source src's Feldman commitment for coordinate k.
-	commits := make(map[int][]*vss.Commitment, len(cfg.Sources))
+	p.commits = make(map[int][]*vss.Commitment, len(cfg.Sources))
 	for _, src := range cfg.Sources {
 		reading := make([]field.Element, vecLen)
 		for k := range reading {
@@ -169,7 +163,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			reading[0] = field.New(cfg.Secrets[src])
 		}
 		for k, secret := range reading {
-			expected[k] = expected[k].Add(secret)
+			p.expected[k] = p.expected[k].Add(secret)
 		}
 		var out []shamir.ShareVector
 		if cfg.Verifiable {
@@ -188,7 +182,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 					out[i].Values[k] = vs.Value
 				}
 			}
-			commits[src] = cs
+			p.commits[src] = cs
 		} else {
 			var err error
 			out, err = shamir.SplitVec(reading, cfg.Degree, points, secretRNG)
@@ -196,21 +190,21 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 				return nil, err
 			}
 		}
-		genCost := cfg.CPU.ShareGenerationVec(cfg.Degree, len(dests), vecLen)
+		genCost := cfg.CPU.ShareGenerationVec(cfg.Degree, len(p.dests), vecLen)
 		if cfg.Verifiable {
 			genCost += time.Duration(vecLen) * cfg.CPU.VSSCommit(cfg.Degree)
 		}
-		if genCost > shareGenMax {
-			shareGenMax = genCost
+		if genCost > p.shareGenMax {
+			p.shareGenMax = genCost
 		}
-		genDetail := fmt.Sprintf("%d destinations", len(dests))
-		if vecMode {
-			genDetail = fmt.Sprintf("%d destinations, veclen=%d", len(dests), vecLen)
+		genDetail := fmt.Sprintf("%d destinations", len(p.dests))
+		if p.vecMode {
+			genDetail = fmt.Sprintf("%d destinations, veclen=%d", len(p.dests), vecLen)
 		}
 		rec.Record(genCost, trace.KindShareGen, src, genDetail)
-		for _, dst := range dests {
+		for _, dst := range p.dests {
 			if dst == src {
-				localShares[dst] = append(localShares[dst], out[dst])
+				p.localShares[dst] = append(p.localShares[dst], out[dst])
 				continue
 			}
 			key, err := keys.PairKey(src, dst)
@@ -221,77 +215,86 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 				Round:    uint32(trial),
 				Sender:   uint16(src),
 				Receiver: uint16(dst),
-				Slot:     uint32(len(deliveries)),
+				Slot:     uint32(len(p.deliveries)),
 			}
 			sealed, err := seckey.SealVector(key, ctx, out[dst].Values)
 			if err != nil {
 				return nil, err
 			}
-			deliveries = append(deliveries, shareDelivery{
+			p.deliveries = append(p.deliveries, shareDelivery{
 				item:   minicast.Item{Owner: src, Dst: dst},
 				sealed: sealed,
 			})
 		}
 	}
-
-	// --- Sharing phase over MiniCast. ---
-	ntx := cfg.NTXSharing
-	if cfg.Protocol == S3 {
-		ntx = boot.NTXFull
+	p.shareItems = make([]minicast.Item, len(p.deliveries))
+	for i, d := range p.deliveries {
+		p.shareItems[i] = d.item
 	}
-	shareItems := make([]minicast.Item, len(deliveries))
-	for i, d := range deliveries {
-		shareItems[i] = d.item
-	}
-	ledger := sim.NewRadioLedger(n)
-	engine := sim.NewEngine()
-
-	// Verifiable mode: flood the commitment vectors first (one broadcast
-	// item per polynomial coefficient per coordinate per source).
-	var commitDur time.Duration
-	var commitRes *minicast.Result
-	var commitOwner []int // commitment chain index → source
 	if cfg.Verifiable {
-		commitItems := make([]minicast.Item, 0, len(cfg.Sources)*vecLen*(cfg.Degree+1))
+		// One broadcast item per polynomial coefficient per coordinate per
+		// source.
+		p.commitItems = make([]minicast.Item, 0, len(cfg.Sources)*vecLen*(cfg.Degree+1))
 		for _, src := range cfg.Sources {
 			for c := 0; c < vecLen*(cfg.Degree+1); c++ {
-				commitItems = append(commitItems, minicast.Item{Owner: src, Dst: -1})
-				commitOwner = append(commitOwner, src)
+				p.commitItems = append(p.commitItems, minicast.Item{Owner: src, Dst: -1})
+				p.commitOwner = append(p.commitOwner, src)
 			}
 		}
-		cRes, cErr := minicast.RunArena(minicast.Config{
-			Channel:      ch,
-			Initiator:    cfg.Initiator,
-			NTX:          ntx,
-			Items:        commitItems,
-			PayloadBytes: commitPayloadBytes,
-			Failed:       cfg.Failed,
-		}, radioRNG, ledger, engine, arena)
-		if cErr != nil {
-			return nil, fmt.Errorf("commitment phase: %w", cErr)
-		}
-		commitRes = cRes
-		commitDur = commitRes.Duration
-		rec.Record(shareGenMax+commitDur, trace.KindPhase, -1,
-			fmt.Sprintf("commitments: chain=%d", len(commitItems)))
 	}
+	return p, nil
+}
 
-	shareRes, err := minicast.RunArena(minicast.Config{
-		Channel:      ch,
-		Initiator:    cfg.Initiator,
-		NTX:          ntx,
-		Items:        shareItems,
-		PayloadBytes: sharePayloadBytes(vecLen),
-		Failed:       cfg.Failed,
-	}, radioRNG, ledger, engine, arena)
-	if err != nil {
-		return nil, fmt.Errorf("sharing phase: %w", err)
+// roundExec carries one trial's state between the sharing chains and the
+// round epilogue. haveShare/haveCommit abstract the chain delivery matrix,
+// so the epilogue reads a scalar minicast.Result and a bit-sliced lane mask
+// through the same code path.
+type roundExec struct {
+	boot     *Bootstrap
+	cfg      Config
+	trial    uint64
+	prep     *sharePrep
+	rec      *trace.Recorder
+	ledger   *sim.RadioLedger
+	engine   *sim.Engine
+	radioRNG *rand.Rand
+
+	commitDur time.Duration
+	shareDur  time.Duration
+	// haveShare reports whether the sharing chain delivered item idx to
+	// dst; haveCommit is the same for the commitment chain (nil when the
+	// round is not verifiable).
+	haveShare  func(dst, idx int) bool
+	haveCommit func(dst, idx int) bool
+}
+
+// hasFullCommitment reports whether dst received every commitment
+// coefficient dealt by src in the commitment chain.
+func (e *roundExec) hasFullCommitment(dst, src int) bool {
+	if e.haveCommit == nil {
+		return false
 	}
-	shareDetail := fmt.Sprintf("sharing: chain=%d ntx=%d", len(shareItems), ntx)
-	if vecMode {
-		shareDetail = fmt.Sprintf("sharing: chain=%d ntx=%d veclen=%d", len(shareItems), ntx, vecLen)
+	for idx, owner := range e.prep.commitOwner {
+		if owner == src && !e.haveCommit(dst, idx) {
+			return false
+		}
 	}
-	rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindPhase, -1, shareDetail)
+	return true
+}
+
+// finish runs the round epilogue: per-destination aggregation, holder
+// selection, the reconstruction chain (drawing from radioRNG), and the
+// per-node result fold. The arena backs the reconstruction chain's buffers;
+// the returned RoundResult owns its memory.
+func (e *roundExec) finish(arena *sim.Arena) (*RoundResult, error) {
+	boot, cfg, prep, rec := e.boot, e.cfg, e.prep, e.rec
+	ch := boot.Channel
+	n := ch.NumNodes()
+	keys := cfg.keyStore()
+	vecLen := prep.vecLen
+	ntx := prep.ntx
+	expected := prep.expected
+	ledger := e.ledger
 
 	// --- Local aggregation at each destination (coordinate-wise). ---
 	sums := make([][]field.Element, n)
@@ -304,7 +307,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 	contrib := make([]int, n)
 	absorbCPU := make([]time.Duration, n)
 	var verified, unverified int
-	for dst, shares := range localShares {
+	for dst, shares := range prep.localShares {
 		for _, sv := range shares {
 			if err := addVec(dst, sv.Values); err != nil {
 				return nil, err
@@ -312,9 +315,9 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			contrib[dst]++
 		}
 	}
-	for idx, d := range deliveries {
+	for idx, d := range prep.deliveries {
 		dst := d.item.Dst
-		if !shareRes.Have[dst][idx] {
+		if !e.haveShare(dst, idx) {
 			continue
 		}
 		key, err := keys.PairKey(d.item.Owner, dst)
@@ -322,7 +325,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			return nil, err
 		}
 		ctx := seckey.PacketContext{
-			Round:    uint32(trial),
+			Round:    uint32(e.trial),
 			Sender:   uint16(d.item.Owner),
 			Receiver: uint16(dst),
 			Slot:     uint32(idx),
@@ -335,10 +338,10 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			// Verify against the dealer's commitments when the commitment
 			// chain reached this destination; absorb optimistically
 			// otherwise (coverage is reported in the result).
-			if hasFullCommitment(commitRes, commitOwner, dst, d.item.Owner) {
+			if e.hasFullCommitment(dst, d.item.Owner) {
 				for k, v := range values {
 					share := vss.Share{X: shamir.PublicPoint(dst), Value: v}
-					if vErr := vss.Verify(share, commits[d.item.Owner][k]); vErr != nil {
+					if vErr := vss.Verify(share, prep.commits[d.item.Owner][k]); vErr != nil {
 						// With honest dealers this indicates a protocol bug.
 						return nil, fmt.Errorf("verify share %d[%d]: %w", idx, k, vErr)
 					}
@@ -354,28 +357,28 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		}
 		contrib[dst]++
 	}
-	for _, dst := range dests {
+	for _, dst := range prep.dests {
 		absorbCPU[dst] += cfg.CPU.SumAbsorbVec(contrib[dst], vecLen)
 	}
 
 	// Only destinations whose sum aggregates EVERY source re-share it; an
 	// incomplete sum would poison interpolation. (The sum packet carries a
 	// contribution count, so peers can tell.)
-	holders := make([]int, 0, len(dests))
-	for _, dst := range dests {
+	holders := make([]int, 0, len(prep.dests))
+	for _, dst := range prep.dests {
 		if contrib[dst] == len(cfg.Sources) {
 			holders = append(holders, dst)
-			rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindSumComplete, dst, "")
+			rec.Record(prep.shareGenMax+e.commitDur+e.shareDur, trace.KindSumComplete, dst, "")
 		} else {
-			rec.Record(shareGenMax+commitDur+shareRes.Duration, trace.KindSumIncomplete, dst,
+			rec.Record(prep.shareGenMax+e.commitDur+e.shareDur, trace.KindSumIncomplete, dst,
 				fmt.Sprintf("%d/%d shares", contrib[dst], len(cfg.Sources)))
 		}
 	}
 	need := cfg.Degree + 1
 	if len(holders) < need {
 		// The round is unrecoverable network-wide; report total failure.
-		return failedRound(expected, n, ledger, commitDur+shareRes.Duration,
-			len(shareItems), ntx, vecLen), nil
+		return failedRound(expected, n, ledger, e.commitDur+e.shareDur,
+			len(prep.shareItems), ntx, vecLen), nil
 	}
 
 	// --- Reconstruction phase over MiniCast (plaintext sum vectors). ---
@@ -407,11 +410,11 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		PayloadBytes: sumPayloadBytes(vecLen),
 		StopListen:   stopListen,
 		Failed:       cfg.Failed,
-	}, radioRNG, ledger, engine, arena)
+	}, e.radioRNG, ledger, e.engine, arena)
 	if err != nil {
 		return nil, fmt.Errorf("reconstruction phase: %w", err)
 	}
-	rec.Record(shareGenMax+commitDur+shareRes.Duration+reconRes.Duration, trace.KindPhase, -1,
+	rec.Record(prep.shareGenMax+e.commitDur+e.shareDur+reconRes.Duration, trace.KindPhase, -1,
 		fmt.Sprintf("reconstruction: chain=%d", len(reconItems)))
 
 	// --- Per-node reconstruction and latency. ---
@@ -423,9 +426,9 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		NodeOK:          make([]bool, n),
 		Latency:         make([]time.Duration, n),
 		RadioOn:         make([]time.Duration, n),
-		SharingDuration: commitDur + shareRes.Duration,
+		SharingDuration: e.commitDur + e.shareDur,
 		ReconDuration:   reconRes.Duration,
-		SharingChainLen: len(shareItems),
+		SharingChainLen: len(prep.shareItems),
 		ReconChainLen:   len(reconItems),
 		NTXUsed:         ntx,
 
@@ -456,7 +459,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 			required = len(holders) // naive: wait for strict all-to-all
 		}
 		if len(held) < required {
-			rec.Record(shareGenMax+commitDur+shareRes.Duration+reconRes.Duration,
+			rec.Record(prep.shareGenMax+e.commitDur+e.shareDur+reconRes.Duration,
 				trace.KindAggregateFail, node,
 				fmt.Sprintf("%d/%d sums", len(held), required))
 			continue
@@ -482,7 +485,7 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 		}
 		res.NodeOK[node] = true
 		okCount++
-		lat := shareGenMax + commitDur + shareRes.Duration + absorbCPU[node] + readyAt +
+		lat := prep.shareGenMax + e.commitDur + e.shareDur + absorbCPU[node] + readyAt +
 			cfg.CPU.InterpolationVec(need, vecLen)
 		res.Latency[node] = lat
 		rec.Record(lat, trace.KindAggregateOK, node, "")
@@ -504,18 +507,110 @@ func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *
 	return res, nil
 }
 
-// hasFullCommitment reports whether dst received every commitment
-// coefficient dealt by src in the commitment chain.
-func hasFullCommitment(commitRes *minicast.Result, commitOwner []int, dst, src int) bool {
-	if commitRes == nil {
-		return false
+// RunRoundTraced is RunRoundWithSecrets with an optional event recorder; a
+// nil recorder is a no-op sink.
+//
+// The round is vectorized end to end: every source shares a VectorLen-long
+// reading vector (shamir.SplitVec — one polynomial per coordinate), ships
+// ONE sealed vector per destination (seckey.SealVector — one MIC for the
+// whole vector), destinations aggregate share vectors coordinate-wise, and
+// reconstruction recovers the full aggregate vector from one cached
+// Lagrange basis (shamir.ReconstructVec). Scalar rounds are the L=1
+// degenerate case and produce results bit-identical to the historical
+// one-share-per-packet path.
+func RunRoundTraced(boot *Bootstrap, trial uint64, secrets map[int]uint64, rec *trace.Recorder) (*RoundResult, error) {
+	if boot == nil || boot.Channel == nil {
+		return nil, fmt.Errorf("%w: nil bootstrap", ErrBadConfig)
 	}
-	for idx, owner := range commitOwner {
-		if owner == src && !commitRes.Have[dst][idx] {
-			return false
+	cfg := boot.cfg
+	if secrets != nil {
+		for _, s := range cfg.Sources {
+			if _, ok := secrets[s]; !ok {
+				return nil, fmt.Errorf("%w: no secret for source %d", ErrBadConfig, s)
+			}
 		}
+		cfg.Secrets = secrets
 	}
-	return true
+	ch := boot.Channel
+	n := ch.NumNodes()
+
+	secretRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+1)
+	radioRNG := sim.NewRNG(cfg.ChannelSeed, trial*4+2)
+
+	// All three chain phases borrow from one arena; their results must stay
+	// readable side by side until the round is folded, so the arena resets
+	// once, on the way out.
+	arena := roundArenas.Get().(*sim.Arena)
+	defer func() {
+		arena.Reset()
+		roundArenas.Put(arena)
+	}()
+
+	prep, err := prepareShares(boot, cfg, trial, secretRNG, rec)
+	if err != nil {
+		return nil, err
+	}
+
+	ledger := sim.NewRadioLedger(n)
+	engine := sim.NewEngine()
+
+	// --- Sharing phase over MiniCast. ---
+	// Verifiable mode: flood the commitment vectors first (one broadcast
+	// item per polynomial coefficient per coordinate per source).
+	var commitDur time.Duration
+	var commitRes *minicast.Result
+	if cfg.Verifiable {
+		cRes, cErr := minicast.RunArena(minicast.Config{
+			Channel:      ch,
+			Initiator:    cfg.Initiator,
+			NTX:          prep.ntx,
+			Items:        prep.commitItems,
+			PayloadBytes: commitPayloadBytes,
+			Failed:       cfg.Failed,
+		}, radioRNG, ledger, engine, arena)
+		if cErr != nil {
+			return nil, fmt.Errorf("commitment phase: %w", cErr)
+		}
+		commitRes = cRes
+		commitDur = commitRes.Duration
+		rec.Record(prep.shareGenMax+commitDur, trace.KindPhase, -1,
+			fmt.Sprintf("commitments: chain=%d", len(prep.commitItems)))
+	}
+
+	shareRes, err := minicast.RunArena(minicast.Config{
+		Channel:      ch,
+		Initiator:    cfg.Initiator,
+		NTX:          prep.ntx,
+		Items:        prep.shareItems,
+		PayloadBytes: sharePayloadBytes(prep.vecLen),
+		Failed:       cfg.Failed,
+	}, radioRNG, ledger, engine, arena)
+	if err != nil {
+		return nil, fmt.Errorf("sharing phase: %w", err)
+	}
+	shareDetail := fmt.Sprintf("sharing: chain=%d ntx=%d", len(prep.shareItems), prep.ntx)
+	if prep.vecMode {
+		shareDetail = fmt.Sprintf("sharing: chain=%d ntx=%d veclen=%d", len(prep.shareItems), prep.ntx, prep.vecLen)
+	}
+	rec.Record(prep.shareGenMax+commitDur+shareRes.Duration, trace.KindPhase, -1, shareDetail)
+
+	exec := &roundExec{
+		boot:      boot,
+		cfg:       cfg,
+		trial:     trial,
+		prep:      prep,
+		rec:       rec,
+		ledger:    ledger,
+		engine:    engine,
+		radioRNG:  radioRNG,
+		commitDur: commitDur,
+		shareDur:  shareRes.Duration,
+		haveShare: func(dst, idx int) bool { return shareRes.Have[dst][idx] },
+	}
+	if commitRes != nil {
+		exec.haveCommit = func(dst, idx int) bool { return commitRes.Have[dst][idx] }
+	}
+	return exec.finish(arena)
 }
 
 // failedRound builds the all-failure result used when too few complete sums

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"iotmpc/internal/core"
+)
+
+// TestRunnerLaneWidthDeterminism is the sweep-level lane contract: every lane
+// width emits byte-identical results — width 1 IS the historical scalar
+// reference path, so this also pins the cache-key-relevant output stable
+// across the bit-sliced rollout (no ResultCacheVersion bump needed).
+func TestRunnerLaneWidthDeterminism(t *testing.T) {
+	// 70 iterations: crosses one full 64-lane group into a 6-wide remainder,
+	// and splits unevenly at widths 5 and 64.
+	m := Matrix{
+		NodeCounts: []int{10},
+		LossRates:  []float64{0.1},
+		Protocols:  []core.Protocol{core.S3, core.S4},
+		Iterations: 70,
+		Seed:       11,
+	}
+	scalar, err := NewRunner(WithLanes(1)).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{5, 64} {
+		got, err := NewRunner(WithLanes(lanes)).Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(scalar, got) {
+			t.Fatalf("lanes=%d changed sweep results", lanes)
+		}
+	}
+	// The zero-option Runner defaults to DefaultLaneCount and must agree too.
+	def, err := NewRunner().Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scalar, def) {
+		t.Fatal("default lane width changed sweep results")
+	}
+}
+
+// TestRunScenarioMatchesLaneRunner pins the public sequential entry point
+// (always scalar, the PR-5 reference) against the lane-batched Runner on the
+// same cells.
+func TestRunScenarioMatchesLaneRunner(t *testing.T) {
+	m := Matrix{
+		NodeCounts: []int{10},
+		Protocols:  []core.Protocol{core.S4},
+		Iterations: 70,
+		Seed:       5,
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewRunner(WithLanes(64)).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scenarios {
+		want, err := RunScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, batched[i]) {
+			t.Fatalf("cell %d: lane-batched result diverged from RunScenario", i)
+		}
+	}
+}
+
+// TestLaneAggregatesWithinConfidenceBounds is the statistical safety net
+// behind the bit-exact tests: even judged only as estimators, the 64-lane
+// aggregate metrics must fall within the scalar run's Welford-derived 95%
+// confidence interval on the same seeds. (Bit-exactness makes the distance
+// zero; this test is what would still hold — and still run — if the lane
+// path ever legitimately re-ordered draws.)
+func TestLaneAggregatesWithinConfidenceBounds(t *testing.T) {
+	sc := Scenario{
+		Nodes:      10,
+		Protocol:   core.S4,
+		LossRate:   0.2,
+		Iterations: 128,
+		Seed:       21,
+	}
+	scalar, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := ParseBackend(sc.Backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes, err := runScenario(sc, backend, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, ref, got struct{ Mean, CI95 float64 }, n int) {
+		// Welford-accumulated mean ± CI95 from the scalar run; guard against
+		// a degenerate zero-width interval with a small relative floor.
+		bound := ref.CI95 + 1e-9*math.Abs(ref.Mean)
+		if diff := math.Abs(got.Mean - ref.Mean); diff > bound {
+			t.Errorf("%s: lane mean %.6f outside scalar mean %.6f ± %.6f (n=%d)",
+				name, got.Mean, ref.Mean, bound, n)
+		}
+	}
+	check("latency",
+		struct{ Mean, CI95 float64 }{scalar.LatencyMS.Mean, scalar.LatencyMS.CI95},
+		struct{ Mean, CI95 float64 }{lanes.LatencyMS.Mean, lanes.LatencyMS.CI95},
+		scalar.LatencyMS.N)
+	check("radio-on",
+		struct{ Mean, CI95 float64 }{scalar.RadioOnMS.Mean, scalar.RadioOnMS.CI95},
+		struct{ Mean, CI95 float64 }{lanes.RadioOnMS.Mean, lanes.RadioOnMS.CI95},
+		scalar.RadioOnMS.N)
+	if scalar.SuccessRate != lanes.SuccessRate {
+		t.Errorf("success rate diverged: scalar %.6f lanes %.6f", scalar.SuccessRate, lanes.SuccessRate)
+	}
+}
+
+// TestWithLanesClamping: out-of-range widths select safe values instead of
+// erroring mid-sweep.
+func TestWithLanesClamping(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, DefaultLaneCount},
+		{0, DefaultLaneCount},
+		{1, 1},
+		{64, 64},
+		{900, 64},
+	} {
+		r := NewRunner(WithLanes(tc.in))
+		if r.lanes != tc.want {
+			t.Errorf("WithLanes(%d): lanes = %d, want %d", tc.in, r.lanes, tc.want)
+		}
+	}
+}

@@ -26,10 +26,17 @@ import (
 type Runner struct {
 	workers      int
 	trialWorkers int
+	lanes        int
 	cacheDir     string
 	sinks        []Sink
 	ctx          context.Context
 }
+
+// DefaultLaneCount is the trial-lane width Runner sweeps execute with: full
+// 64-lane batches. Lane execution is bit-identical to scalar execution for
+// any width (pinned by core's equivalence tests), so the default is purely a
+// throughput choice and never affects results or cache keys.
+const DefaultLaneCount = phy.MaxLanes
 
 // Option configures a Runner.
 type Option func(*Runner)
@@ -53,6 +60,24 @@ func WithTrialWorkers(n int) Option {
 	}
 }
 
+// WithLanes sets the bit-sliced trial batch width, 1..phy.MaxLanes (<= 0
+// selects DefaultLaneCount, larger values clamp to phy.MaxLanes). Width 1
+// runs every trial scalar — the reference path; wider lanes batch that many
+// consecutive trials of a cell into one bit-sliced execution. Emitted
+// results are identical for any value.
+func WithLanes(n int) Option {
+	return func(r *Runner) {
+		switch {
+		case n <= 0:
+			r.lanes = DefaultLaneCount
+		case n > phy.MaxLanes:
+			r.lanes = phy.MaxLanes
+		default:
+			r.lanes = n
+		}
+	}
+}
+
 // WithCache enables the content-addressed result cache rooted at dir (see
 // ScenarioCacheKey for the address definition).
 func WithCache(dir string) Option { return func(r *Runner) { r.cacheDir = dir } }
@@ -72,7 +97,7 @@ func WithContext(ctx context.Context) Option { return func(r *Runner) { r.ctx = 
 // options) is RunMatrix's historical behavior: GOMAXPROCS workers, no cache,
 // no sinks.
 func NewRunner(opts ...Option) *Runner {
-	r := &Runner{trialWorkers: 1, ctx: context.Background()}
+	r := &Runner{trialWorkers: 1, lanes: DefaultLaneCount, ctx: context.Background()}
 	for _, o := range opts {
 		o(r)
 	}
@@ -362,7 +387,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 			go func() {
 				for i := range idxCh {
 					sc := scenarios[i]
-					res, err := runScenario(sc, factories[sc.Backend], r.trialWorkers)
+					res, err := runScenario(sc, factories[sc.Backend], r.trialWorkers, r.lanes)
 					if err == nil {
 						results[i] = res
 						if store != nil && store.Put(keys[i], res) != nil {

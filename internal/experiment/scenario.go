@@ -352,7 +352,7 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	return runScenario(sc, backend, 1)
+	return runScenario(sc, backend, 1, 1)
 }
 
 // scenarioDeployment resolves the scenario's topology: a named fixed testbed
@@ -430,12 +430,16 @@ const trialBlock = 256
 
 // runScenario is RunScenario with the backend factory already resolved (so
 // matrix sweeps resolve each distinct spec — and parse each trace file —
-// once instead of once per cell) and an explicit trial-level worker count.
-// Trials are independent given the immutable bootstrap, so blocks of them
-// fan across trialWorkers; per-trial stats land at their trial's index and
-// fold into the streams in trial order, which keeps the result bit-identical
-// to a sequential run for any worker count.
-func runScenario(sc Scenario, backend phy.Factory, trialWorkers int) (ScenarioResult, error) {
+// once instead of once per cell), an explicit trial-level worker count, and a
+// lane count for bit-sliced trial batching. Trials are independent given the
+// immutable bootstrap, so blocks of them fan across trialWorkers; per-trial
+// stats land at their trial's index and fold into the streams in trial order,
+// which keeps the result bit-identical to a sequential run for any worker
+// count. laneCount > 1 dispatches trials in core.RunRoundLanes batches of
+// that width; lane execution is bit-identical to scalar execution for every
+// lane partition, so laneCount is a pure throughput knob — it never changes
+// results or cache keys.
+func runScenario(sc Scenario, backend phy.Factory, trialWorkers, laneCount int) (ScenarioResult, error) {
 	if sc.Iterations <= 0 {
 		return ScenarioResult{}, fmt.Errorf("%w: iterations %d", ErrBadSpec, sc.Iterations)
 	}
@@ -484,29 +488,61 @@ func runScenario(sc Scenario, backend phy.Factory, trialWorkers int) (ScenarioRe
 	// exactly one worker (the one that draws trial 0), read after the pool
 	// joins.
 	chainLen, chainPayload := 0, 0
+	if laneCount < 1 {
+		laneCount = 1
+	} else if laneCount > phy.MaxLanes {
+		laneCount = phy.MaxLanes
+	}
+	land := func(i int, res *core.RoundResult, block []trialStats) {
+		if i == 0 {
+			chainLen = res.SharingChainLen
+			chainPayload = res.SharePayloadBytes
+		}
+		block[i%trialBlock] = trialStats{
+			meanLatency: res.MeanLatency,
+			meanRadioOn: res.MeanRadioOn,
+			correct:     res.CorrectNodes,
+			nodes:       len(res.NodeOK),
+		}
+	}
 	block := make([]trialStats, trialBlock)
 	for base := 0; base < sc.Iterations; base += trialBlock {
 		count := sc.Iterations - base
 		if count > trialBlock {
 			count = trialBlock
 		}
-		err := sim.ParallelFor(count, trialWorkers, func(i int) error {
-			res, err := core.RunRound(boot, uint64(base+i))
-			if err != nil {
-				return err
-			}
-			if base+i == 0 {
-				chainLen = res.SharingChainLen
-				chainPayload = res.SharePayloadBytes
-			}
-			block[i] = trialStats{
-				meanLatency: res.MeanLatency,
-				meanRadioOn: res.MeanRadioOn,
-				correct:     res.CorrectNodes,
-				nodes:       len(res.NodeOK),
-			}
-			return nil
-		})
+		var err error
+		if laneCount == 1 {
+			err = sim.ParallelFor(count, trialWorkers, func(i int) error {
+				res, err := core.RunRound(boot, uint64(base+i))
+				if err != nil {
+					return err
+				}
+				land(base+i, res, block)
+				return nil
+			})
+		} else {
+			// Bit-sliced dispatch: each work unit is one lane batch of up to
+			// laneCount consecutive trials. Lane results are bit-identical to
+			// scalar trials, so the stats land at the same indices with the
+			// same values for any lane width.
+			groups := (count + laneCount - 1) / laneCount
+			err = sim.ParallelFor(groups, trialWorkers, func(g int) error {
+				lo := g * laneCount
+				size := count - lo
+				if size > laneCount {
+					size = laneCount
+				}
+				results, err := core.RunRoundLanes(boot, uint64(base+lo), size)
+				if err != nil {
+					return err
+				}
+				for i, res := range results {
+					land(base+lo+i, res, block)
+				}
+				return nil
+			})
+		}
 		if err != nil {
 			return ScenarioResult{}, err
 		}

@@ -24,6 +24,7 @@ import "time"
 type Arena struct {
 	ints     slicePool[int]
 	int32s   slicePool[int32]
+	uint64s  slicePool[uint64]
 	bools    slicePool[bool]
 	durs     slicePool[time.Duration]
 	intRows  slicePool[[]int]
@@ -50,6 +51,15 @@ func (a *Arena) Int32s(n int) []int32 {
 		return make([]int32, n)
 	}
 	return a.int32s.get(n)
+}
+
+// Uint64s borrows a zeroed []uint64 of length n (the lane masks of the
+// bit-sliced trial kernels).
+func (a *Arena) Uint64s(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	return a.uint64s.get(n)
 }
 
 // Bools borrows a zeroed []bool of length n.
@@ -110,6 +120,7 @@ func (a *Arena) Reset() {
 	}
 	a.ints.reset()
 	a.int32s.reset()
+	a.uint64s.reset()
 	a.bools.reset()
 	a.durs.reset()
 	a.intRows.reset()

@@ -15,6 +15,8 @@ func TestArenaBorrowsAreZeroedAndSized(t *testing.T) {
 	bs[0] = true
 	ds := a.Durations(2)
 	ds[1] = time.Second
+	us := a.Uint64s(4)
+	us[0] = ^uint64(0)
 	rows := a.BoolRows(2)
 	rows[0] = bs
 
@@ -38,6 +40,11 @@ func TestArenaBorrowsAreZeroedAndSized(t *testing.T) {
 	for _, d := range a.Durations(2) {
 		if d != 0 {
 			t.Fatal("reused duration slice not zeroed")
+		}
+	}
+	for _, u := range a.Uint64s(4) {
+		if u != 0 {
+			t.Fatal("reused uint64 lane slice not zeroed")
 		}
 	}
 	for _, r := range a.BoolRows(2) {
@@ -78,6 +85,7 @@ func TestArenaWarmBorrowsDoNotAllocate(t *testing.T) {
 		_ = a.Bools(40)
 		_ = a.Durations(40)
 		_ = a.Int32s(40)
+		_ = a.Uint64s(40)
 		_ = a.IntRows(8)
 		_ = a.BoolRows(8)
 		_ = a.DurationRows(8)

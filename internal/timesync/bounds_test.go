@@ -1,0 +1,155 @@
+package timesync
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"iotmpc/internal/phy"
+	"iotmpc/internal/topology"
+)
+
+// Hop-latency bounds: the sync residual model is per-hop Gaussian jitter
+// accumulated over the relay distance, so the error must (a) scale with hop
+// depth, (b) stay inside an analytic √hops tail bound, and (c) push past the
+// TDMA guard when the per-hop jitter says it should. These run on a unit-disk
+// line where hop counts are exact geometry, not channel luck.
+
+// lineDisk builds an n-node unit-disk line where each hop reaches only the
+// immediate neighbors (spacing 30 m, radius 35 m, no gray zone).
+func lineDisk(t *testing.T, n int) *phy.UnitDisk {
+	t.Helper()
+	top, err := topology.Line(n, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := phy.NewUnitDisk(phy.DefaultParams(), top.Positions, 35, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// zeroDriftConfig isolates the hop-jitter term: perfect crystals mean the
+// sampled error IS the flood residual.
+func zeroDriftConfig(ch phy.Radio, rounds int) Config {
+	return Config{
+		Channel:        ch,
+		Initiator:      0,
+		NTX:            3,
+		ResyncInterval: time.Second,
+		Rounds:         rounds,
+		DriftPPM:       make([]float64, ch.NumNodes()),
+		HopJitter:      time.Microsecond,
+	}
+}
+
+func meanOverRounds(t *testing.T, cfg Config, seed int64) time.Duration {
+	t.Helper()
+	rep, err := Simulate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	for _, s := range rep.Samples {
+		if s.Unsynced > 0 {
+			t.Fatalf("round %d: %d unsynced nodes on a connected line", s.Round, s.Unsynced)
+		}
+		sum += s.MeanAbsError
+	}
+	return sum / time.Duration(len(rep.Samples))
+}
+
+func TestResidualScalesWithHopDepth(t *testing.T) {
+	// A 16-hop line accumulates √hops more jitter than the same number of
+	// nodes one hop from the initiator; 60 rounds of averaging makes the
+	// ordering deterministic at the fixed seeds.
+	const n, rounds = 17, 60
+	deep := meanOverRounds(t, zeroDriftConfig(lineDisk(t, n), rounds), 1)
+
+	top, err := topology.Line(n, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clique, err := phy.NewUnitDisk(phy.DefaultParams(), top.Positions, 30*float64(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow := meanOverRounds(t, zeroDriftConfig(clique, rounds), 1)
+	if deep <= shallow {
+		t.Errorf("deep-line mean error %v not above one-hop mean %v", deep, shallow)
+	}
+	if deep > 10*shallow {
+		t.Errorf("deep-line mean error %v implausibly large vs one-hop %v (√hops model broken?)", deep, shallow)
+	}
+}
+
+func TestHopLatencyTailBound(t *testing.T) {
+	// Analytic bound: residual = N(0,1)·jitter·√hops with hops ≤ n, so worst
+	// |error| over every node and round stays below 6σ·jitter·√n except with
+	// vanishing probability (~500 draws at fixed seed).
+	const n, rounds = 12, 40
+	cfg := zeroDriftConfig(lineDisk(t, n), rounds)
+	rep, err := Simulate(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := time.Duration(6 * float64(cfg.HopJitter) * math.Sqrt(float64(n)))
+	if worst := rep.WorstError(); worst > bound {
+		t.Errorf("worst error %v exceeds 6σ hop bound %v", worst, bound)
+	}
+}
+
+func TestGuardViolationDetected(t *testing.T) {
+	// WithinGuard is a real predicate, not a constant: per-hop jitter on the
+	// order of the guard interval itself must trip it.
+	ch := lineDisk(t, 10)
+	cfg := zeroDriftConfig(ch, 10)
+	cfg.HopJitter = ch.Params().SlotGuard
+	rep, err := Simulate(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WithinGuard() {
+		t.Errorf("guard-sized hop jitter reported within guard (worst %v, guard %v)",
+			rep.WorstError(), rep.GuardInterval)
+	}
+	// And the default Glossy-class jitter on the same line must not.
+	cfg.HopJitter = 0 // default 500 ns
+	rep, err = Simulate(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.WithinGuard() {
+		t.Errorf("default jitter exceeds guard on a 9-hop line (worst %v, guard %v)",
+			rep.WorstError(), rep.GuardInterval)
+	}
+}
+
+func TestPartitionedNodeStaysUnsynced(t *testing.T) {
+	// A node outside radio range never hears a sync flood: it is reported in
+	// Unsynced every round and never pollutes the error maximum.
+	top, err := topology.Line(6, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top.Positions[5].X += 1000 // strand the last node
+	u, err := phy.NewUnitDisk(phy.DefaultParams(), top.Positions, 35, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := zeroDriftConfig(u, 8)
+	rep, err := Simulate(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Samples {
+		if s.Unsynced != 1 {
+			t.Errorf("round %d: unsynced = %d, want exactly the stranded node", s.Round, s.Unsynced)
+		}
+		if s.MaxAbsError > time.Millisecond {
+			t.Errorf("round %d: stranded node leaked into MaxAbsError (%v)", s.Round, s.MaxAbsError)
+		}
+	}
+}
