@@ -24,6 +24,14 @@
 //	experiments -panel matrix -nodes 20 -veclen 0,4,8 -out jsonl      # multi-sensor batched-sealing axis
 //	experiments -panel matrix -nodes 15,25,40 -iters 2000 -cache ~/.iotmpc-cache -progress
 //	experiments -panel matrix -nodes 20 -out jsonl | jq .successRate
+//
+// One matrix can be sharded across N processes or machines sharing a cache
+// directory, then merged back into the byte-identical unsharded artifact:
+//
+//	experiments -panel matrix -nodes 15,25,40 -cache /nfs/sweep -shard 0/3 &
+//	experiments -panel matrix -nodes 15,25,40 -cache /nfs/sweep -shard 1/3 &
+//	experiments -panel matrix -nodes 15,25,40 -cache /nfs/sweep -shard 2/3 -steal
+//	experiments merge -nodes 15,25,40 -cache /nfs/sweep -shards 3 -out jsonl
 package main
 
 import (
@@ -44,7 +52,8 @@ func main() {
 	}
 }
 
-// matrixFlags bundles everything -panel matrix consumes.
+// matrixFlags bundles everything -panel matrix (and the merge subcommand)
+// consumes.
 type matrixFlags struct {
 	nodes, degrees, loss, phys   string
 	ntx, slack, fail, verifiable string
@@ -55,9 +64,19 @@ type matrixFlags struct {
 	csv, progress                bool
 	cacheDir, out                string
 	outSet                       bool
+	shard                        string
+	steal                        bool
+	shards                       int
 }
 
 func run(args []string) error {
+	// `experiments merge ...` assembles a sharded sweep from its cache
+	// directory instead of running anything; the matrix axis flags select
+	// which sweep to assemble.
+	mergeMode := len(args) > 0 && args[0] == "merge"
+	if mergeMode {
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var mf matrixFlags
 	var (
@@ -88,6 +107,12 @@ func run(args []string) error {
 		"matrix: content-addressed result cache directory (repeated sweeps skip cached cells)")
 	fs.BoolVar(&mf.progress, "progress", false, "matrix: narrate per-cell progress on stderr")
 	fs.StringVar(&mf.out, "out", "table", "matrix output stream: table, csv, jsonl")
+	fs.StringVar(&mf.shard, "shard", "",
+		"matrix: run only shard i of N (format i/N); shards share -cache and `experiments merge` reassembles the byte-identical sweep")
+	fs.BoolVar(&mf.steal, "steal", false,
+		"matrix: after finishing its own shard, compute other shards' missing cells in reverse index order (needs -shard and -cache)")
+	fs.IntVar(&mf.shards, "shards", 0,
+		"merge: shard count whose completion manifests to consult (0: assemble from per-cell entries only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +129,22 @@ func run(args []string) error {
 	}
 	defer stopProfiles()
 
+	if mergeMode {
+		// merge is cache assembly, not execution: execution-only flags are
+		// meaningless here and -panel selects nothing.
+		var misused []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "panel", "workers", "lanes", "shard", "steal":
+				misused = append(misused, "-"+f.Name)
+			}
+		})
+		if len(misused) > 0 {
+			return fmt.Errorf("%s do not apply to merge (use -shards N for the shard count)", strings.Join(misused, ", "))
+		}
+		return runMerge(mf)
+	}
+
 	if *panel == "matrix" {
 		return runMatrix(mf)
 	}
@@ -113,7 +154,8 @@ func run(args []string) error {
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "workers", "lanes", "nodes", "degrees", "loss", "phy",
-			"ntx", "slack", "fail", "verifiable", "veclen", "cache", "progress", "out":
+			"ntx", "slack", "fail", "verifiable", "veclen", "cache", "progress", "out",
+			"shard", "steal", "shards":
 			misused = append(misused, "-"+f.Name)
 		}
 	})
@@ -219,42 +261,43 @@ func outputSink(format string) (experiment.Sink, error) {
 	}
 }
 
-// runMatrix parses the axis flags and streams the scenario matrix through
-// the Runner: results hit the output sink in index order as cells complete.
-func runMatrix(mf matrixFlags) error {
+// buildMatrix parses the axis flags into the sweep spec runMatrix executes
+// and runMerge assembles.
+func buildMatrix(mf matrixFlags) (experiment.Matrix, error) {
+	var zero experiment.Matrix
 	nodeCounts, err := parseInts(mf.nodes)
 	if err != nil {
-		return fmt.Errorf("-nodes: %w", err)
+		return zero, fmt.Errorf("-nodes: %w", err)
 	}
 	degreeList, err := parseInts(mf.degrees)
 	if err != nil {
-		return fmt.Errorf("-degrees: %w", err)
+		return zero, fmt.Errorf("-degrees: %w", err)
 	}
 	lossRates, err := parseFloats(mf.loss)
 	if err != nil {
-		return fmt.Errorf("-loss: %w", err)
+		return zero, fmt.Errorf("-loss: %w", err)
 	}
 	ntxValues, err := parseInts(mf.ntx)
 	if err != nil {
-		return fmt.Errorf("-ntx: %w", err)
+		return zero, fmt.Errorf("-ntx: %w", err)
 	}
 	slacks, err := parseInts(mf.slack)
 	if err != nil {
-		return fmt.Errorf("-slack: %w", err)
+		return zero, fmt.Errorf("-slack: %w", err)
 	}
 	failureRates, err := parseFloats(mf.fail)
 	if err != nil {
-		return fmt.Errorf("-fail: %w", err)
+		return zero, fmt.Errorf("-fail: %w", err)
 	}
 	verifiables, err := parseBools(mf.verifiable)
 	if err != nil {
-		return fmt.Errorf("-verifiable: %w", err)
+		return zero, fmt.Errorf("-verifiable: %w", err)
 	}
 	vectorLens, err := parseInts(mf.veclen)
 	if err != nil {
-		return fmt.Errorf("-veclen: %w", err)
+		return zero, fmt.Errorf("-veclen: %w", err)
 	}
-	m := experiment.Matrix{
+	return experiment.Matrix{
 		Backends:     parseList(mf.phys),
 		NodeCounts:   nodeCounts,
 		Degrees:      degreeList,
@@ -266,16 +309,70 @@ func runMatrix(mf matrixFlags) error {
 		VectorLens:   vectorLens,
 		Iterations:   mf.iters,
 		Seed:         mf.seed,
-	}
+	}, nil
+}
+
+// outputFormat resolves -out against the legacy -csv alias.
+func outputFormat(mf matrixFlags) (string, error) {
 	format := mf.out
 	if mf.csv {
 		// -csv predates -out; honoring it quietly is fine when -out was left
 		// at its default, but an explicit conflicting -out must not be
 		// clobbered.
 		if mf.outSet && format != "csv" {
-			return fmt.Errorf("-csv conflicts with -out %s; pick one", format)
+			return "", fmt.Errorf("-csv conflicts with -out %s; pick one", format)
 		}
 		format = "csv"
+	}
+	return format, nil
+}
+
+// parseShard parses the -shard flag's "i/N" form; "" is the unsharded spec.
+func parseShard(s string, steal bool) (experiment.ShardSpec, error) {
+	if s == "" {
+		return experiment.ShardSpec{Steal: steal}, nil
+	}
+	left, right, ok := strings.Cut(s, "/")
+	if !ok {
+		return experiment.ShardSpec{}, fmt.Errorf("-shard %q: want i/N (e.g. 0/3)", s)
+	}
+	shard, err := strconv.Atoi(strings.TrimSpace(left))
+	if err != nil {
+		return experiment.ShardSpec{}, fmt.Errorf("-shard %q: %w", s, err)
+	}
+	total, err := strconv.Atoi(strings.TrimSpace(right))
+	if err != nil {
+		return experiment.ShardSpec{}, fmt.Errorf("-shard %q: %w", s, err)
+	}
+	spec := experiment.ShardSpec{Shard: shard, Total: total, Steal: steal}
+	if err := spec.Validate(); err != nil {
+		return experiment.ShardSpec{}, err
+	}
+	return spec, nil
+}
+
+// runMatrix parses the axis flags and streams the scenario matrix through
+// the Runner: results hit the output sink in index order as cells complete.
+func runMatrix(mf matrixFlags) error {
+	m, err := buildMatrix(mf)
+	if err != nil {
+		return err
+	}
+	spec, err := parseShard(mf.shard, mf.steal)
+	if err != nil {
+		return err
+	}
+	if mf.steal {
+		if mf.shard == "" {
+			return fmt.Errorf("-steal needs -shard (there is nothing to steal from an unsharded sweep)")
+		}
+		if mf.cacheDir == "" {
+			return fmt.Errorf("-steal needs -cache (stolen results land in the shared cache)")
+		}
+	}
+	format, err := outputFormat(mf)
+	if err != nil {
+		return err
 	}
 	sink, err := outputSink(format)
 	if err != nil {
@@ -284,6 +381,7 @@ func runMatrix(mf matrixFlags) error {
 	opts := []experiment.Option{
 		experiment.WithWorkers(mf.workers),
 		experiment.WithLanes(mf.lanes),
+		experiment.WithShard(spec),
 		experiment.WithSinks(sink),
 	}
 	if mf.progress {
@@ -294,6 +392,64 @@ func runMatrix(mf matrixFlags) error {
 	}
 	if _, err := experiment.NewRunner(opts...).Run(m); err != nil {
 		return fmt.Errorf("matrix sweep: %w", err)
+	}
+	return nil
+}
+
+// runMerge assembles a sharded sweep from the shards' shared cache
+// directory and streams it through the output sink — the merged stream (and
+// the matrix manifest the merge writes) is byte-identical to an unsharded
+// run's.
+func runMerge(mf matrixFlags) error {
+	if mf.cacheDir == "" {
+		return fmt.Errorf("merge needs -cache (the directory the shards shared)")
+	}
+	if mf.shards < 0 {
+		return fmt.Errorf("-shards %d: want >= 0", mf.shards)
+	}
+	m, err := buildMatrix(mf)
+	if err != nil {
+		return err
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		return err
+	}
+	results, err := experiment.MergeShards(mf.cacheDir, scenarios, mf.shards)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	format, err := outputFormat(mf)
+	if err != nil {
+		return err
+	}
+	sink, err := outputSink(format)
+	if err != nil {
+		return err
+	}
+	sinks := []experiment.Sink{sink}
+	if mf.progress {
+		sinks = append(sinks, &experiment.ProgressSink{W: os.Stderr})
+	}
+	plan := experiment.Plan{Scenarios: scenarios, CacheDir: mf.cacheDir,
+		CacheHits: len(results), ManifestHit: true}
+	sum := experiment.RunSummary{Cells: len(results), CacheHits: len(results)}
+	for _, s := range sinks {
+		if err := s.OnStart(plan); err != nil {
+			return err
+		}
+	}
+	for _, r := range results {
+		for _, s := range sinks {
+			if err := s.OnResult(r); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range sinks {
+		if err := s.OnFinish(sum); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -152,5 +154,63 @@ func TestRunProfilingFlags(t *testing.T) {
 	if err := run([]string{"-panel", "matrix", "-nodes", "8", "-iters", "1",
 		"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x.prof")}); err == nil {
 		t.Fatal("unwritable -cpuprofile accepted")
+	}
+}
+
+func TestRunShardedMatrixAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-panel", "matrix", "-nodes", "8,10", "-loss", "0.0", "-iters", "1", "-cache", dir}
+	// Merging before any shard ran is an informative failure, not a panic.
+	mergeArgs := []string{"merge", "-nodes", "8,10", "-loss", "0.0", "-iters", "1",
+		"-cache", dir, "-shards", "2", "-out", "jsonl"}
+	if err := run(mergeArgs); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("premature merge: err = %v, want missing-cells error", err)
+	}
+	for shard := 0; shard < 2; shard++ {
+		if err := run(append(base, "-shard", fmt.Sprintf("%d/2", shard))); err != nil {
+			t.Fatalf("shard %d/2: %v", shard, err)
+		}
+	}
+	if err := run(mergeArgs); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	// The merge left the matrix manifest: the unsharded rerun is served whole.
+	if err := run(append(base, "-progress")); err != nil {
+		t.Fatalf("post-merge unsharded run: %v", err)
+	}
+}
+
+func TestRunShardWithStealRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-panel", "matrix", "-nodes", "8,10", "-loss", "0.0", "-iters", "1",
+		"-cache", dir, "-shard", "0/2", "-steal"}); err != nil {
+		t.Fatalf("stealing shard: %v", err)
+	}
+	// The thief filled the whole cache: a shardless merge assembles it.
+	if err := run([]string{"merge", "-nodes", "8,10", "-loss", "0.0", "-iters", "1", "-cache", dir}); err != nil {
+		t.Fatalf("merge after steal: %v", err)
+	}
+}
+
+func TestRunShardFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-shard", "3"},             // not i/N
+		{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-shard", "2/2"},           // out of range
+		{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-shard", "x/2"},           // non-numeric
+		{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-shard", "0/0"},           // zero shards
+		{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-steal"},                  // steal without shard
+		{"-panel", "matrix", "-nodes", "8", "-iters", "1", "-shard", "0/2", "-steal"}, // steal without cache
+		{"-panel", "fig1a", "-iters", "1", "-shard", "0/2"},                           // sharding a fixed panel
+		{"merge", "-nodes", "8", "-iters", "1"},                                       // merge without cache
+		{"merge", "-nodes", "8", "-iters", "1", "-cache", dir, "-shards", "-1"},       // negative shard count
+		{"merge", "-nodes", "8", "-iters", "1", "-cache", dir, "-shard", "0/2"},       // run-only flag on merge
+		{"merge", "-nodes", "8", "-iters", "1", "-cache", dir, "-steal"},              // run-only flag on merge
+		{"merge", "-nodes", "8", "-iters", "1", "-cache", dir, "-panel", "matrix"},    // panel on merge
+		{"merge", "-nodes", "8", "-iters", "1", "-cache", dir, "-workers", "2"},       // run-only flag on merge
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

@@ -4,20 +4,29 @@
 // repeated or interrupted sweep only pays for cells whose inputs (or the
 // code producing them) actually changed.
 //
-// The store is deliberately forgiving on the read path: a missing, truncated,
-// tampered, or otherwise unreadable entry is reported as a miss, never as an
-// error — the caller's fallback is always "recompute and overwrite". Writes
+// The store is deliberately forgiving about CONTENT on the read path: a
+// missing, truncated, or tampered entry is reported as a miss, never as an
+// error — the caller's fallback is always "recompute and overwrite". Real
+// I/O faults (permission denied on a shared cache volume, EIO) are NOT
+// misses: they surface as errors, because silently recomputing a sweep a
+// broken volume can never serve again hides an operational problem. Writes
 // are atomic (temp file + rename), so a crash mid-Put leaves either the old
-// entry or none, and concurrent writers of the same key are safe.
+// entry or none, and concurrent writers of the same key are safe; temp
+// files orphaned by a crash are swept by the next Open.
 package cache
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 )
 
 // Key derives the content address for a canonical payload under a version
@@ -37,7 +46,15 @@ type Store struct {
 	dir string
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// staleTempAge is how old an orphaned Put temp file must be before Open
+// removes it. A crashed process (e.g. a sweep shard killed mid-run) leaves
+// its `<key>.tmp-*` files behind forever; an age threshold reclaims them
+// while never racing a live concurrent writer, whose temp exists for
+// milliseconds between CreateTemp and Rename.
+const staleTempAge = time.Hour
+
+// Open creates (if needed) and opens a store rooted at dir, sweeping any
+// stale temp files a crashed writer left behind.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cache: empty directory")
@@ -45,7 +62,31 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
+	sweepStaleTemps(dir)
 	return &Store{dir: dir}, nil
+}
+
+// sweepStaleTemps removes Put temp files older than staleTempAge. Best
+// effort: the sweep is garbage collection, so any error (a file removed by
+// a concurrent sweep, a permission oddity) is simply skipped.
+func sweepStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-staleTempAge)
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if info.ModTime().Before(cutoff) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // Dir returns the store's root directory.
@@ -72,11 +113,22 @@ func valueChecksum(value []byte) string {
 
 // Get loads the entry for key into out. It returns (false, nil) when the
 // entry is absent or fails any integrity check — corruption is a cache miss,
-// not an error, so sweeps always fall back to recomputing.
+// not an error, so sweeps always fall back to recomputing. A real I/O fault
+// (permission denied, EIO on a failing volume) is an error: the entry may
+// exist but cannot be read, and treating that as a permanent miss would
+// silently recompute every cell on every run.
 func (s *Store) Get(key string, out any) (bool, error) {
 	raw, err := os.ReadFile(s.Path(key))
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, syscall.EISDIR):
+		// Absent — or something that is not a regular file squatting where
+		// the entry would live, which is a malformed store, not an I/O
+		// fault: a miss, and Put's rename will fail loudly if it cannot
+		// repair it.
 		return false, nil
+	default:
+		return false, fmt.Errorf("cache: read entry %s: %w", key, err)
 	}
 	var env envelope
 	if json.Unmarshal(raw, &env) != nil {

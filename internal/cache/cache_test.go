@@ -3,7 +3,10 @@ package cache
 import (
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 type payload struct {
@@ -146,5 +149,131 @@ func TestOpenRejectsEmptyAndCreatesNested(t *testing.T) {
 	}
 	if _, err := os.Stat(dir); err != nil {
 		t.Fatalf("nested dir not created: %v", err)
+	}
+}
+
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", []byte("survivor"))
+	if err := s.Put(key, payload{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A temp file orphaned by a crashed writer, aged past the threshold.
+	stale := filepath.Join(dir, "deadbeef.tmp-1234")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh temp file — a LIVE concurrent writer between CreateTemp and
+	// Rename — must survive the sweep.
+	fresh := filepath.Join(dir, "cafef00d.tmp-5678")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived Open (stat err = %v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp removed — Open raced a live writer: %v", err)
+	}
+	// Real entries are untouched.
+	var out payload
+	if hit, err := s.Get(key, &out); err != nil || !hit || out.Value != 1 {
+		t.Fatalf("entry damaged by sweep: hit=%v err=%v out=%+v", hit, err, out)
+	}
+}
+
+func TestStoreConcurrentWritersAndSweeps(t *testing.T) {
+	// Concurrent Puts of the same key interleaved with Opens (each running
+	// a temp sweep) must never error or corrupt the entry: renames are
+	// atomic and the sweep's age threshold keeps it off live temp files.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", []byte("hot"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := s.Put(key, payload{Name: "hot", Value: float64(w)}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if _, err := Open(dir); err != nil {
+					t.Errorf("opener %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var out payload
+	hit, err := s.Get(key, &out)
+	if err != nil || !hit {
+		t.Fatalf("after concurrent writes: hit=%v err=%v", hit, err)
+	}
+	if out.Name != "hot" || out.Value < 0 || out.Value > 7 {
+		t.Fatalf("entry corrupted: %+v", out)
+	}
+}
+
+func TestStoreGetClassifiesErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+
+	// A real I/O fault must surface, not degrade to a miss. A regular file
+	// blocking a path component yields ENOTDIR — an error even for root,
+	// unlike permission bits.
+	if err := os.WriteFile(filepath.Join(dir, "blocker"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("blocker/entry", &out); err == nil {
+		t.Fatal("I/O fault (ENOTDIR) degraded to a miss")
+	} else if !strings.Contains(err.Error(), "read entry") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+
+	// A directory squatting at an entry path is a malformed store, not an
+	// I/O fault: a miss, so the caller recomputes and Put fails loudly.
+	if err := os.Mkdir(s.Path("dirkey"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if hit, err := s.Get("dirkey", &out); err != nil || hit {
+		t.Fatalf("directory at entry path: hit=%v err=%v, want miss", hit, err)
+	}
+
+	// Permission denial is the canonical real fault (CI runs unprivileged;
+	// root bypasses permission bits, so skip there).
+	if os.Geteuid() != 0 {
+		key := Key("v1", []byte("locked"))
+		if err := s.Put(key, payload{Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chmod(s.Path(key), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(key, &out); err == nil {
+			t.Fatal("permission fault degraded to a miss")
+		}
 	}
 }

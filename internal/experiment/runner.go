@@ -28,6 +28,7 @@ type Runner struct {
 	trialWorkers int
 	lanes        int
 	cacheDir     string
+	shard        ShardSpec
 	sinks        []Sink
 	ctx          context.Context
 }
@@ -50,14 +51,11 @@ func WithWorkers(n int) Option { return func(r *Runner) { r.workers = n } }
 // (<= 0 selects GOMAXPROCS, default 1). Matrix sweeps parallelize across
 // cells and leave this at 1; single-cell callers (cmd/mpcsim) raise it to
 // fan Monte-Carlo trials across cores instead. Results are identical for
-// any value.
+// any value. Like WithWorkers, the <= 0 sentinel resolves to GOMAXPROCS at
+// run time, not here — a GOMAXPROCS change between construction and Run is
+// honored by both pools.
 func WithTrialWorkers(n int) Option {
-	return func(r *Runner) {
-		r.trialWorkers = n
-		if n <= 0 {
-			r.trialWorkers = runtime.GOMAXPROCS(0)
-		}
-	}
+	return func(r *Runner) { r.trialWorkers = n }
 }
 
 // WithLanes sets the bit-sliced trial batch width, 1..phy.MaxLanes (<= 0
@@ -81,6 +79,16 @@ func WithLanes(n int) Option {
 // WithCache enables the content-addressed result cache rooted at dir (see
 // ScenarioCacheKey for the address definition).
 func WithCache(dir string) Option { return func(r *Runner) { r.cacheDir = dir } }
+
+// WithShard restricts execution to one shard of the sweep: the Partition
+// range of spec.Shard out of spec.Total contiguous cell ranges. The shard
+// emits exactly its own range to the sinks (in index order, so shard
+// streams concatenate into the unsharded stream), writes a per-shard
+// manifest on completion, and — with spec.Steal — keeps computing other
+// shards' missing cells afterwards. Sharding never changes what any cell
+// computes; MergeShards reassembles the byte-identical full sweep. The
+// zero spec is the unsharded default.
+func WithShard(spec ShardSpec) Option { return func(r *Runner) { r.shard = spec } }
 
 // WithSinks appends result sinks. Sinks are driven from a single goroutine
 // in scenario-index order and need no internal locking.
@@ -114,21 +122,42 @@ type Plan struct {
 	Workers   int
 	CacheDir  string
 	CacheHits int
-	// ManifestHit reports that the whole sweep was served from its matrix
-	// manifest — one index file open instead of one stat per cell.
+	// ManifestHit reports that the whole sweep was served from its
+	// manifest — the matrix manifest, or this shard's manifest on a
+	// sharded run — one index file open instead of one stat per cell.
 	ManifestHit bool
+	// Shard is the (normalized) shard assignment; Total 1 is unsharded.
+	// Scenarios always holds the full matrix — the shard's own range is
+	// Partition(len(Scenarios), Shard.Shard, Shard.Total).
+	Shard ShardSpec
 }
 
-// RunSummary is what sinks learn at OnFinish.
+// RunSummary is what sinks learn at OnFinish. On a sharded run every count
+// covers the shard's own Partition range, except Stolen.
 type RunSummary struct {
 	Cells     int
 	CacheHits int
 	Computed  int
+	// Resumed counts the cells the probe pipeline found already cached
+	// while the sweep ran — work inherited from an earlier (killed or
+	// concurrent) invocation instead of recomputed. Whole-sweep manifest
+	// hits resolve before execution and are CacheHits but not Resumed.
+	Resumed int
+	// Stolen counts cells OUTSIDE this shard's range computed by work
+	// stealing after the own range finished. Stolen results go to the
+	// cache for their owner (and the merge) to pick up; they are never
+	// emitted to this shard's sinks.
+	Stolen int
 	// CacheWriteErrors counts computed cells whose result could not be
 	// persisted (full or read-only cache volume). The cache is an
 	// optimization, so write failures never abort a sweep — they just mean
 	// those cells will be recomputed next time.
 	CacheWriteErrors int
+	// ManifestWriteError reports that the sweep completed but its
+	// completion manifest (matrix or shard) could not be written: the next
+	// run falls back to per-cell probing, and a merge falls back to
+	// per-cell entries. Cell persistence is accounted separately above.
+	ManifestWriteError bool
 }
 
 // Sink consumes a sweep as a stream. OnResult is called exactly once per
@@ -215,6 +244,46 @@ func backendContentDigest(spec string) (string, error) {
 	return fmt.Sprintf("trace:%x", sum), nil
 }
 
+// scenarioKeys computes every cell's content address, hashing each distinct
+// trace file once per sweep instead of once per cell. Sharding and merging
+// both key the whole matrix — a shard needs every key for its manifests and
+// for work stealing, not just its own range's.
+func scenarioKeys(scenarios []Scenario) ([]string, error) {
+	keys := make([]string, len(scenarios))
+	digests := make(map[string]string)
+	for i, sc := range scenarios {
+		digest, ok := digests[sc.Backend]
+		if !ok {
+			var err error
+			if digest, err = backendContentDigest(sc.Backend); err != nil {
+				return nil, err
+			}
+			digests[sc.Backend] = digest
+		}
+		key, err := scenarioKeyWithDigest(sc, digest)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key
+	}
+	return keys, nil
+}
+
+// resolvedWorkers maps the <= 0 "pick for me" sentinels of both worker
+// knobs to GOMAXPROCS at run time. Resolving lazily (rather than when the
+// option is applied) keeps the two knobs consistent and honors a
+// GOMAXPROCS change made between NewRunner and Run.
+func (r *Runner) resolvedWorkers() (workers, trialWorkers int) {
+	workers, trialWorkers = r.workers, r.trialWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if trialWorkers <= 0 {
+		trialWorkers = runtime.GOMAXPROCS(0)
+	}
+	return workers, trialWorkers
+}
+
 // Run expands the matrix and executes it; see RunScenarios.
 func (r *Runner) Run(m Matrix) ([]ScenarioResult, error) {
 	scenarios, err := m.Scenarios()
@@ -245,14 +314,26 @@ type compMsg struct {
 //
 //   - Manifest fast path: a fully completed sweep leaves one manifest
 //     entry indexing every cell result under the digest of the cell key
-//     list. An identical rerun loads the whole matrix from that single
-//     file — O(1) opens for 10⁵+ cells — before execution begins.
+//     list (per-shard on a sharded run). An identical rerun loads the
+//     whole sweep from that single file — O(1) opens for 10⁵+ cells —
+//     before execution begins.
 //   - Probe pipeline: on a manifest miss, a prober walks the cells in
 //     index order, serving hits itself and forwarding misses straight to
 //     the worker pool, so cache I/O overlaps simulation instead of
-//     serially preceding it.
+//     serially preceding it. A cell cached by an earlier killed run — or
+//     by another shard's work stealing — resolves here, which is what
+//     makes any interrupted sweep resumable for free; the summary reports
+//     such cells as Resumed.
+//
+// With WithShard only the shard's Partition range executes and is
+// returned/emitted; see WithShard and MergeShards.
 func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	n := len(scenarios)
+	spec := r.shard.normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := Partition(n, spec.Shard, spec.Total)
 
 	// Resolve each distinct backend spec once (trace files parse once per
 	// sweep, not once per cell); the map is read-only once workers start.
@@ -284,22 +365,9 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	if store != nil {
 		// Cell keys are pure hashing over in-memory scenario encodings (plus
 		// one trace-file read per distinct spec) — cheap even at 10⁵ cells.
-		keys = make([]string, n)
-		digests := make(map[string]string, len(factories))
-		for i, sc := range scenarios {
-			digest, ok := digests[sc.Backend]
-			if !ok {
-				var err error
-				if digest, err = backendContentDigest(sc.Backend); err != nil {
-					return nil, err
-				}
-				digests[sc.Backend] = digest
-			}
-			key, err := scenarioKeyWithDigest(sc, digest)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = key
+		var err error
+		if keys, err = scenarioKeys(scenarios); err != nil {
+			return nil, err
 		}
 		manifestKey = matrixManifestKey(keys)
 		var cached []ScenarioResult
@@ -311,17 +379,30 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 				results[i] = cached[i]
 				done[i] = true
 			}
-			hits = n
+			hits = hi - lo
 			manifestHit = true
+		}
+		if !manifestHit && spec.sharded() {
+			// A completed shard's rerun takes the same one-open fast path
+			// through the shard's own manifest.
+			var part []ScenarioResult
+			if ok, err := store.Get(shardManifestKey(keys, spec.Shard, spec.Total), &part); err != nil {
+				return nil, err
+			} else if ok && len(part) == hi-lo {
+				for i := range part {
+					part[i].Cached = true
+					results[lo+i] = part[i]
+					done[lo+i] = true
+				}
+				hits = hi - lo
+				manifestHit = true
+			}
 		}
 	}
 
-	workers := r.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers, trialWorkers := r.resolvedWorkers()
 	plan := Plan{Scenarios: scenarios, Workers: workers, CacheDir: r.cacheDir,
-		CacheHits: hits, ManifestHit: manifestHit}
+		CacheHits: hits, ManifestHit: manifestHit, Shard: spec}
 	for _, s := range r.sinks {
 		if err := s.OnStart(plan); err != nil {
 			return nil, err
@@ -329,7 +410,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	}
 
 	var pending []int
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		if !done[i] {
 			pending = append(pending, i)
 		}
@@ -337,12 +418,13 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 
 	// The collector below runs on this goroutine: it drains completion
 	// messages, marks cells done, and advances the emission frontier,
-	// calling sinks for every completed prefix cell. Sinks therefore see
-	// results in index order no matter how the pool interleaves.
-	next := 0
+	// calling sinks for every completed prefix cell of the shard's own
+	// range. Sinks therefore see results in index order no matter how the
+	// pool interleaves.
+	next := lo
 	var sinkErr error
 	emit := func() {
-		for next < n && done[next] && sinkErr == nil {
+		for next < hi && done[next] && sinkErr == nil {
 			for _, s := range r.sinks {
 				if err := s.OnResult(results[next]); err != nil {
 					sinkErr = err
@@ -352,7 +434,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 			next++
 		}
 	}
-	emit() // a manifest hit streams the whole matrix out before any simulation
+	emit() // a manifest hit streams the whole range out before any simulation
 	if sinkErr != nil {
 		// A sink died on the cached prefix (e.g. a closed downstream pipe):
 		// abort before starting the pool rather than simulating cells whose
@@ -361,6 +443,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 	}
 
 	var putErrors atomic.Int64
+	resumed := 0
 	failed := false
 	if len(pending) > 0 {
 		if workers > len(pending) {
@@ -387,7 +470,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 			go func() {
 				for i := range idxCh {
 					sc := scenarios[i]
-					res, err := runScenario(sc, factories[sc.Backend], r.trialWorkers, r.lanes)
+					res, err := runScenario(sc, factories[sc.Backend], trialWorkers, r.lanes)
 					if err == nil {
 						results[i] = res
 						if store != nil && store.Put(keys[i], res) != nil {
@@ -484,6 +567,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 			default:
 				if msg.cached {
 					hits++
+					resumed++
 				}
 				done[msg.index] = true
 				emit()
@@ -503,7 +587,7 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 				}
 			}
 		}
-		if err := r.ctx.Err(); err != nil && next < n {
+		if err := r.ctx.Err(); err != nil && next < hi {
 			return nil, err
 		}
 	}
@@ -511,27 +595,76 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 		return nil, sinkErr
 	}
 
-	// Every cell resolved: index the sweep under its manifest key, so the
-	// next identical run opens one file instead of probing n cells. Like
-	// cell writes, a failed manifest write only costs future speed.
-	if store != nil && !manifestHit && !failed && next == n {
-		if store.Put(manifestKey, results) != nil {
-			putErrors.Add(1)
+	// Every own cell resolved: index the sweep under its completion
+	// manifest — the matrix manifest unsharded, the shard's own manifest
+	// sharded — so the next identical run opens one file instead of probing
+	// cells, and a merge assembles from `total` manifests instead of n
+	// cells. Like cell writes, a failed manifest write only costs future
+	// speed, but it is tracked separately from CacheWriteErrors: every
+	// computed cell's result WAS persisted.
+	manifestWriteError := false
+	if store != nil && !manifestHit && !failed && next == hi {
+		if spec.sharded() {
+			manifestWriteError = store.Put(shardManifestKey(keys, spec.Shard, spec.Total), results[lo:hi]) != nil
+		} else {
+			manifestWriteError = store.Put(manifestKey, results) != nil
+		}
+	}
+
+	// Work stealing: the own range is complete, other shards may be
+	// lagging. Walk their cells in reverse index order — away from each
+	// owner's forward progress, so thief and owner meet once in the middle
+	// instead of racing cell after cell — and compute whatever the cache
+	// does not yet hold. A double compute against the owner is harmless:
+	// per-scenario seeds make both results identical and the cache's
+	// atomic Put makes the duplicate write a no-op overwrite.
+	stolen := 0
+	if spec.Steal && spec.sharded() && store != nil && !failed && next == hi {
+	steal:
+		for i := n - 1; i >= 0; i-- {
+			if (i >= lo && i < hi) || done[i] {
+				continue
+			}
+			select {
+			case <-r.ctx.Done():
+				break steal // own work is complete; stop stealing quietly
+			default:
+			}
+			var res ScenarioResult
+			ok, err := store.Get(keys[i], &res)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				continue
+			}
+			sc := scenarios[i]
+			out, err := runScenario(sc, factories[sc.Backend], trialWorkers, r.lanes)
+			if err != nil {
+				return nil, err
+			}
+			if store.Put(keys[i], out) != nil {
+				putErrors.Add(1)
+			}
+			stolen++
 		}
 	}
 
 	sum := RunSummary{
-		Cells:            n,
-		CacheHits:        hits,
-		Computed:         n - hits,
-		CacheWriteErrors: int(putErrors.Load()),
+		Cells:              hi - lo,
+		CacheHits:          hits,
+		Computed:           (hi - lo) - hits,
+		Resumed:            resumed,
+		Stolen:             stolen,
+		CacheWriteErrors:   int(putErrors.Load()),
+		ManifestWriteError: manifestWriteError,
 	}
 	for _, s := range r.sinks {
 		if err := s.OnFinish(sum); err != nil {
 			return nil, err
 		}
 	}
-	return results, nil
+	return results[lo:hi], nil
 }
 
 // RunMatrix expands the matrix and fans the scenarios across a worker pool

@@ -6,8 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"iotmpc/internal/core"
 	"iotmpc/internal/sim"
@@ -590,5 +592,171 @@ func TestMatrixCSVQuotesCommaBackend(t *testing.T) {
 	fields := len(matrixCSVHeader)
 	if got := strings.Count(lines[0], ",") + 1; got != fields {
 		t.Fatalf("header has %d fields, want %d", got, fields)
+	}
+}
+
+func TestRunnerManifestWriteErrorTrackedSeparately(t *testing.T) {
+	// A directory squatting at the manifest path: Get treats the non-file as
+	// a miss (malformed store, not an I/O fault), the sweep runs cold, every
+	// CELL write succeeds, and only the final manifest rename fails. The
+	// summary must pin the failure on the manifest alone — before the fix it
+	// was folded into CacheWriteErrors, misreporting persisted cells as lost.
+	dir := t.TempDir()
+	m := runnerMatrix()
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := scenarioKeys(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, matrixManifestKey(keys)+".json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var progress strings.Builder
+	sink := &recordingSink{}
+	results, err := NewRunner(WithCache(dir),
+		WithSinks(sink, &ProgressSink{W: &progress})).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.summary.ManifestWriteError {
+		t.Fatalf("manifest write failure not reported: %+v", sink.summary)
+	}
+	if sink.summary.CacheWriteErrors != 0 {
+		t.Fatalf("manifest failure miscounted as cell write errors: %+v", sink.summary)
+	}
+	if sink.summary.Computed != len(results) {
+		t.Fatalf("summary %+v, want all %d cells computed", sink.summary, len(results))
+	}
+	if !strings.Contains(progress.String(), "completion manifest could not be persisted") {
+		t.Fatalf("progress narration missing manifest warning:\n%s", progress.String())
+	}
+	// Every cell WAS persisted: the rerun probes them all as hits.
+	warm := &recordingSink{}
+	if _, err := NewRunner(WithCache(dir), WithSinks(warm)).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if warm.summary.Computed != 0 || warm.plan.ManifestHit {
+		t.Fatalf("rerun after manifest failure: plan %+v summary %+v", warm.plan, warm.summary)
+	}
+}
+
+func TestWorkerResolutionIsLazy(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	// Both <= 0 sentinels must read GOMAXPROCS at resolution time, not at
+	// option-apply time — cmd/mpcsim constructs the Runner before the
+	// runtime is (possibly) retuned.
+	runtime.GOMAXPROCS(3)
+	r := NewRunner(WithWorkers(0), WithTrialWorkers(0))
+	runtime.GOMAXPROCS(2)
+	if w, tw := r.resolvedWorkers(); w != 2 || tw != 2 {
+		t.Fatalf("resolved %d/%d workers, want 2/2 from run-time GOMAXPROCS", w, tw)
+	}
+	// Defaults: scenario workers follow GOMAXPROCS, trial workers stay 1.
+	if w, tw := NewRunner().resolvedWorkers(); w != 2 || tw != 1 {
+		t.Fatalf("default resolution %d/%d, want 2/1", w, tw)
+	}
+	// Explicit positive values pass through untouched.
+	if w, tw := NewRunner(WithWorkers(5), WithTrialWorkers(7)).resolvedWorkers(); w != 5 || tw != 7 {
+		t.Fatalf("explicit resolution %d/%d, want 5/7", w, tw)
+	}
+}
+
+// failAfterNSink errors on the nth OnResult — mid-pool, unlike failingSink
+// which dies on the very first emission.
+type failAfterNSink struct {
+	recordingSink
+	failAt int
+}
+
+func (f *failAfterNSink) OnResult(r ScenarioResult) error {
+	if err := f.recordingSink.OnResult(r); err != nil {
+		return err
+	}
+	if len(f.results) >= f.failAt {
+		return errors.New("sink failed mid-sweep")
+	}
+	return nil
+}
+
+func TestRunnerMidSweepSinkFailureDrainsAndSkipsManifest(t *testing.T) {
+	dir := t.TempDir()
+	m := runnerMatrix()
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := scenarioKeys(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	_, err = NewRunner(WithCache(dir), WithSinks(&failAfterNSink{failAt: 2})).Run(m)
+	if err == nil || !strings.Contains(err.Error(), "sink failed mid-sweep") {
+		t.Fatalf("err = %v, want mid-sweep sink error", err)
+	}
+
+	// The aborted sweep must not leave a completion manifest: a rerun that
+	// trusted one would replay the very results the sink never accepted.
+	if _, statErr := os.Stat(filepath.Join(dir, matrixManifestKey(keys)+".json")); !os.IsNotExist(statErr) {
+		t.Fatalf("aborted sweep left a manifest (stat err = %v)", statErr)
+	}
+
+	// And the pool must drain: every prober/dispatcher/worker goroutine
+	// exits once the stop channel closes and the collector consumes the
+	// remaining completion messages.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after sink failure: %d running, %d before",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunnerSurfacesCacheReadErrors(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("permission bits do not bind root; the cache package covers the classification with ENOTDIR")
+	}
+	dir := t.TempDir()
+	m := runnerMatrix()
+	if _, err := NewRunner(WithCache(dir)).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := scenarioKeys(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An unreadable manifest is an error before execution begins.
+	manifestPath := filepath.Join(dir, matrixManifestKey(keys)+".json")
+	if err := os.Chmod(manifestPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(WithCache(dir)).Run(m); err == nil || !strings.Contains(err.Error(), "read entry") {
+		t.Fatalf("unreadable manifest: err = %v, want surfaced read error", err)
+	}
+
+	// An unreadable CELL surfaces from the probe pipeline: the prober's
+	// error branch must be live, not degrade to an eternal recompute.
+	if err := os.Remove(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(filepath.Join(dir, keys[0]+".json"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(WithCache(dir)).Run(m); err == nil || !strings.Contains(err.Error(), "read entry") {
+		t.Fatalf("unreadable cell: err = %v, want surfaced read error", err)
 	}
 }

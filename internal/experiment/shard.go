@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"fmt"
+
+	"iotmpc/internal/cache"
+)
+
+// This file is the sharding layer of the sweep engine: one scenario matrix
+// executed as N independent shard processes (possibly on N machines sharing
+// one cache volume) whose outputs merge back into the exact artifact a
+// single unsharded run produces.
+//
+// The contract that makes this trivial to get right is per-scenario seed
+// derivation: every cell's randomness descends from Scenario.Seed, which is
+// derived from (matrix seed, index) at expansion time. A cell therefore
+// computes the same bytes no matter which shard — or how many shards — runs
+// it, so any partition of the index space, any work-stealing interleaving,
+// and any crash/resume schedule yields byte-identical merged output.
+
+// ShardSpec selects one shard of a sweep. The zero value means "the whole
+// matrix" (Total is normalized to 1); Total > 1 restricts a Runner to the
+// Partition range of Shard and switches the completion manifest from the
+// matrix manifest to a per-shard manifest (see MergeShards).
+type ShardSpec struct {
+	// Shard is the 0-based shard index, in [0, Total).
+	Shard int
+	// Total is the shard count, >= 1. 1 is the unsharded sweep.
+	Total int
+	// Steal makes the shard keep working after its own range completes:
+	// it walks the other shards' cells in reverse index order, computing
+	// and caching any cell not yet present. The cache's atomic Put makes a
+	// double-computed cell harmless — both writers store identical bytes —
+	// so stealing needs no coordination beyond the shared cache directory.
+	Steal bool
+}
+
+// normalized maps the zero value to the explicit unsharded spec.
+func (s ShardSpec) normalized() ShardSpec {
+	if s.Total == 0 {
+		s.Total = 1
+	}
+	return s
+}
+
+// Validate reports whether the spec denotes a real shard: Total >= 1 and
+// Shard in [0, Total).
+func (s ShardSpec) Validate() error {
+	if s.Total < 1 {
+		return fmt.Errorf("%w: shard total %d (need >= 1)", ErrBadSpec, s.Total)
+	}
+	if s.Shard < 0 || s.Shard >= s.Total {
+		return fmt.Errorf("%w: shard %d outside [0,%d)", ErrBadSpec, s.Shard, s.Total)
+	}
+	return nil
+}
+
+// sharded reports whether the spec restricts execution to a proper subset.
+func (s ShardSpec) sharded() bool { return s.Total > 1 }
+
+// Partition returns the half-open cell-index range [lo, hi) owned by shard
+// `shard` of `total` over n cells: contiguous ranges in shard order, sizes
+// differing by at most one, with the n%total remainder cells going to the
+// lowest-numbered shards. Contiguity is deliberate — each shard emits its
+// range in index order, so concatenating the shards' output streams in
+// shard order reproduces the unsharded stream byte for byte.
+//
+// The spec must be valid (see ShardSpec.Validate); Partition panics on a
+// malformed one, since every caller validates at its boundary.
+func Partition(n, shard, total int) (lo, hi int) {
+	if err := (ShardSpec{Shard: shard, Total: total}).Validate(); err != nil {
+		panic(err)
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("experiment: Partition over %d cells", n))
+	}
+	base, rem := n/total, n%total
+	if shard < rem {
+		lo = shard * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (shard-rem)*base
+	return lo, lo + base
+}
+
+// shardManifestVersion stamps per-shard manifest entries. Like the matrix
+// manifest, the key is derived from the per-cell keys (which carry
+// ResultCacheVersion), so it needs no bump of its own.
+const shardManifestVersion = "iotmpc/shard-manifest/v1"
+
+// shardManifestKey is the content address of one shard's completion
+// manifest: the digest of every cell key of the WHOLE matrix plus the shard
+// coordinates. Hashing all keys — not just the shard's range — means a
+// change to any cell anywhere invalidates every shard's manifest together
+// with the matrix manifest, and the same matrix sharded two different ways
+// never confuses one slicing's manifests for the other's.
+func shardManifestKey(keys []string, shard, total int) string {
+	payload := make([]byte, 0, len(keys)*65+24)
+	for _, k := range keys {
+		payload = append(payload, k...)
+		payload = append(payload, '\n')
+	}
+	payload = append(payload, fmt.Sprintf("shard:%d/%d", shard, total)...)
+	return cache.Key(shardManifestVersion, payload)
+}
+
+// MergeShards assembles a sharded sweep's full result list from the cache
+// directory the shards shared, and writes the matrix manifest so the next
+// unsharded run of the same matrix is a one-open manifest hit. The merged
+// output is byte-identical to a single unsharded run: cells are the same
+// content-addressed entries either way.
+//
+// Sources are consulted cheapest-first: the matrix manifest (a previous
+// merge, or an unsharded run), then the shard manifests of a total-shard
+// run, then per-cell entries — so a sweep whose shards all completed merges
+// in `total` opens, and a sweep that was killed and patched up by reruns or
+// work stealing still merges from its cells. total <= 1 skips the
+// shard-manifest pass. Cells present nowhere are an error naming how many
+// are missing; a merge never computes anything.
+func MergeShards(cacheDir string, scenarios []Scenario, total int) ([]ScenarioResult, error) {
+	if cacheDir == "" {
+		return nil, fmt.Errorf("experiment: merge needs a cache directory")
+	}
+	store, err := cache.Open(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	n := len(scenarios)
+	keys, err := scenarioKeys(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	manifestKey := matrixManifestKey(keys)
+
+	results := make([]ScenarioResult, n)
+	done := make([]bool, n)
+	remaining := n
+
+	var whole []ScenarioResult
+	if ok, err := store.Get(manifestKey, &whole); err != nil {
+		return nil, err
+	} else if ok && len(whole) == n {
+		for i := range whole {
+			whole[i].Cached = true
+		}
+		return whole, nil
+	}
+
+	for shard := 0; shard < total && remaining > 0; shard++ {
+		lo, hi := Partition(n, shard, total)
+		if lo == hi {
+			continue
+		}
+		var part []ScenarioResult
+		ok, err := store.Get(shardManifestKey(keys, shard, total), &part)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || len(part) != hi-lo {
+			continue // incomplete shard: its cells fall through to the per-cell pass
+		}
+		for i, r := range part {
+			results[lo+i] = r
+			done[lo+i] = true
+			remaining--
+		}
+	}
+
+	missing, firstMissing := 0, -1
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		var res ScenarioResult
+		ok, err := store.Get(keys[i], &res)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			missing++
+			if firstMissing < 0 {
+				firstMissing = i
+			}
+			continue
+		}
+		results[i] = res
+		done[i] = true
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf(
+			"experiment: merge incomplete: %d of %d cells missing from %s (first missing index %d); rerun the missing shards",
+			missing, n, cacheDir, firstMissing)
+	}
+
+	// The merge's product: the same matrix manifest a single unsharded run
+	// writes, under the same key with the same value bytes. Unlike the
+	// Runner's best-effort manifest write, a merge that cannot persist its
+	// manifest has failed at its one job.
+	if err := store.Put(manifestKey, results); err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Cached = true
+	}
+	return results, nil
+}

@@ -28,8 +28,16 @@ type ProgressSink struct {
 // CI manifest check asserts a warm rerun took the one-open fast path rather
 // than probing cells.
 func (p *ProgressSink) OnStart(plan Plan) error {
-	p.cells = len(plan.Scenarios)
+	n := len(plan.Scenarios)
+	p.cells = n
 	p.seen = 0
+	shardNote := ""
+	if plan.Shard.Total > 1 {
+		lo, hi := Partition(n, plan.Shard.Shard, plan.Shard.Total)
+		p.cells = hi - lo
+		shardNote = fmt.Sprintf(" (shard %d/%d of %d: cells [%d,%d))",
+			plan.Shard.Shard, plan.Shard.Total, n, lo, hi)
+	}
 	cacheNote := "cache off"
 	if plan.CacheDir != "" {
 		if plan.ManifestHit {
@@ -38,7 +46,7 @@ func (p *ProgressSink) OnStart(plan Plan) error {
 			cacheNote = fmt.Sprintf("cache %s (cell probing overlaps execution)", plan.CacheDir)
 		}
 	}
-	_, err := fmt.Fprintf(p.W, "sweep: %d cells, %d workers, %s\n", p.cells, plan.Workers, cacheNote)
+	_, err := fmt.Fprintf(p.W, "sweep: %d cells%s, %d workers, %s\n", p.cells, shardNote, plan.Workers, cacheNote)
 	return err
 }
 
@@ -59,9 +67,22 @@ func (p *ProgressSink) OnResult(r ScenarioResult) error {
 // OnFinish implements Sink. The "N cached, M computed" phrasing is load-
 // bearing: the CI cache round-trip asserts a warm rerun reports 0 computed.
 func (p *ProgressSink) OnFinish(sum RunSummary) error {
-	if _, err := fmt.Fprintf(p.W, "sweep finished: %d cells, %d cached, %d computed\n",
-		sum.Cells, sum.CacheHits, sum.Computed); err != nil {
+	line := fmt.Sprintf("sweep finished: %d cells, %d cached, %d computed",
+		sum.Cells, sum.CacheHits, sum.Computed)
+	if sum.Resumed > 0 {
+		line += fmt.Sprintf(" (%d resumed from an earlier run)", sum.Resumed)
+	}
+	if sum.Stolen > 0 {
+		line += fmt.Sprintf(", %d stolen for lagging shards", sum.Stolen)
+	}
+	if _, err := fmt.Fprintln(p.W, line); err != nil {
 		return err
+	}
+	if sum.ManifestWriteError {
+		if _, err := fmt.Fprintln(p.W,
+			"warning: the sweep's completion manifest could not be persisted (the next run probes per-cell entries instead)"); err != nil {
+			return err
+		}
 	}
 	if sum.CacheWriteErrors > 0 {
 		if _, err := fmt.Fprintf(p.W,
