@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"iotmpc/internal/experiment"
+	"iotmpc/internal/store"
+)
+
+// This file is the -server client: instead of executing a matrix locally,
+// the CLI submits it to a sweepd job API, polls the job to completion, and
+// streams the results back through the same output sinks. With -out jsonl
+// the bytes are copied straight from the HTTP response, so the artifact is
+// byte-identical to a local run's.
+
+// pollInterval is how often the client re-reads the job while waiting.
+const pollInterval = 150 * time.Millisecond
+
+// apiError decodes the service's {"error": ...} body into a readable error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+// submitJob POSTs the matrix spec and returns the created job record.
+func submitJob(ctx context.Context, base string, m experiment.Matrix) (store.Job, error) {
+	var job store.Job
+	spec, err := json.Marshal(m)
+	if err != nil {
+		return job, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader(spec))
+	if err != nil {
+		return job, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return job, fmt.Errorf("submit to %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return job, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return job, fmt.Errorf("decode job: %w", err)
+	}
+	return job, nil
+}
+
+// getJob reads one job record.
+func getJob(ctx context.Context, base, id string) (store.Job, error) {
+	var job store.Job
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id, nil)
+	if err != nil {
+		return job, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return job, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return job, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return job, fmt.Errorf("decode job: %w", err)
+	}
+	return job, nil
+}
+
+// runServerMatrix submits the matrix, waits for the job, and streams the
+// results through the -out sink.
+func runServerMatrix(ctx context.Context, mf matrixFlags, m experiment.Matrix) error {
+	base := strings.TrimSuffix(mf.server, "/")
+	job, err := submitJob(ctx, base, m)
+	if err != nil {
+		return err
+	}
+	if mf.progress {
+		fmt.Fprintf(os.Stderr, "submitted job %s (%d cells) to %s\n", job.ID, job.Cells, base)
+	}
+	job, err = waitForJob(ctx, base, job.ID, mf.progress)
+	if err != nil {
+		return err
+	}
+	return streamResults(ctx, base, job, mf, m)
+}
+
+// waitForJob polls until the job reaches a terminal state. An interrupt
+// while waiting does NOT cancel the job — it keeps running on the server,
+// and the results stay fetchable.
+func waitForJob(ctx context.Context, base, id string, progress bool) (store.Job, error) {
+	ticker := time.NewTicker(pollInterval)
+	defer ticker.Stop()
+	lastCompleted := -1
+	for {
+		job, err := getJob(ctx, base, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return job, fmt.Errorf("interrupted: job %s continues on the server; its results stay fetchable at %s/jobs/%s/results", id, base, id)
+			}
+			return job, err
+		}
+		if progress && job.Completed != lastCompleted {
+			lastCompleted = job.Completed
+			fmt.Fprintf(os.Stderr, "job %s: %s, %d/%d cells\n", job.ID, job.State, job.Completed, job.Cells)
+		}
+		switch job.State {
+		case store.Done:
+			return job, nil
+		case store.Failed:
+			return job, fmt.Errorf("job %s failed: %s", job.ID, job.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return job, fmt.Errorf("interrupted: job %s continues on the server; its results stay fetchable at %s/jobs/%s/results", id, base, id)
+		case <-ticker.C:
+		}
+	}
+}
+
+// streamResults fetches the finished job's JSONL and renders it in the
+// requested format. JSONL is a raw byte copy of the response — the server
+// streams exactly the bytes a local `-out jsonl` run prints; table and CSV
+// decode each row and drive the ordinary sinks.
+func streamResults(ctx context.Context, base string, job store.Job, mf matrixFlags, m experiment.Matrix) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+job.ID+"/results", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	format, err := outputFormat(mf)
+	if err != nil {
+		return err
+	}
+	if format == "jsonl" {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	sink, err := outputSink(format)
+	if err != nil {
+		return err
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		return err
+	}
+	if err := sink.OnStart(experiment.Plan{Scenarios: scenarios, CacheHits: job.CacheHits}); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	rows := 0
+	for sc.Scan() {
+		var r experiment.ScenarioResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return fmt.Errorf("decode result row %d: %w", rows, err)
+		}
+		if err := sink.OnResult(r); err != nil {
+			return err
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return sink.OnFinish(experiment.RunSummary{
+		Cells:     job.Cells,
+		CacheHits: job.CacheHits,
+		Computed:  job.Computed,
+		Resumed:   job.Resumed,
+	})
+}

@@ -35,12 +35,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"iotmpc/internal/cache"
 	"iotmpc/internal/experiment"
 	"iotmpc/internal/topology"
 )
@@ -67,6 +72,8 @@ type matrixFlags struct {
 	shard                        string
 	steal                        bool
 	shards                       int
+	server                       string
+	stats                        bool
 }
 
 func run(args []string) error {
@@ -113,6 +120,10 @@ func run(args []string) error {
 		"matrix: after finishing its own shard, compute other shards' missing cells in reverse index order (needs -shard and -cache)")
 	fs.IntVar(&mf.shards, "shards", 0,
 		"merge: shard count whose completion manifests to consult (0: assemble from per-cell entries only)")
+	fs.StringVar(&mf.server, "server", "",
+		"matrix: submit the sweep to a sweepd job API at this base URL instead of executing locally")
+	fs.BoolVar(&mf.stats, "stats", false,
+		"print the -cache directory's footprint (entries, bytes, orphaned temp files) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +133,13 @@ func run(args []string) error {
 			mf.outSet = true
 		}
 	})
+
+	if mf.stats {
+		if mf.cacheDir == "" {
+			return fmt.Errorf("-stats needs -cache (the directory to report on)")
+		}
+		return printCacheStats(mf.cacheDir)
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -135,7 +153,7 @@ func run(args []string) error {
 		var misused []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "panel", "workers", "lanes", "shard", "steal":
+			case "panel", "workers", "lanes", "shard", "steal", "server":
 				misused = append(misused, "-"+f.Name)
 			}
 		})
@@ -146,7 +164,12 @@ func run(args []string) error {
 	}
 
 	if *panel == "matrix" {
-		return runMatrix(mf)
+		// A matrix sweep can run for hours; SIGINT/SIGTERM cancels the
+		// Runner's context so in-flight cells finish, sinks flush every
+		// already-emitted row, and the exit line reports how far it got.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runMatrix(ctx, mf)
 	}
 	// The matrix-only flags do nothing for the fixed paper panels; reject
 	// them rather than let a user believe they took effect.
@@ -155,7 +178,7 @@ func run(args []string) error {
 		switch f.Name {
 		case "workers", "lanes", "nodes", "degrees", "loss", "phy",
 			"ntx", "slack", "fail", "verifiable", "veclen", "cache", "progress", "out",
-			"shard", "steal", "shards":
+			"shard", "steal", "shards", "server":
 			misused = append(misused, "-"+f.Name)
 		}
 	})
@@ -353,10 +376,37 @@ func parseShard(s string, steal bool) (experiment.ShardSpec, error) {
 
 // runMatrix parses the axis flags and streams the scenario matrix through
 // the Runner: results hit the output sink in index order as cells complete.
-func runMatrix(mf matrixFlags) error {
+// With -server the sweep is submitted to a sweepd job API instead, and the
+// results stream back over HTTP — byte-identical (for -out jsonl) to a local
+// run of the same matrix.
+func runMatrix(ctx context.Context, mf matrixFlags) error {
 	m, err := buildMatrix(mf)
 	if err != nil {
 		return err
+	}
+	if mf.server != "" {
+		// Execution knobs belong to the server's configuration; silently
+		// ignoring them would let the user believe they shaped the sweep.
+		var misused []string
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-workers", mf.workers != 0},
+			{"-lanes", mf.lanes != 0},
+			{"-cache", mf.cacheDir != ""},
+			{"-shard", mf.shard != ""},
+			{"-steal", mf.steal},
+		} {
+			if f.set {
+				misused = append(misused, f.name)
+			}
+		}
+		if len(misused) > 0 {
+			return fmt.Errorf("%s do not apply with -server (the service owns its cache and runner configuration)",
+				strings.Join(misused, ", "))
+		}
+		return runServerMatrix(ctx, mf, m)
 	}
 	spec, err := parseShard(mf.shard, mf.steal)
 	if err != nil {
@@ -378,11 +428,29 @@ func runMatrix(mf matrixFlags) error {
 	if err != nil {
 		return err
 	}
+	// The interrupt report needs this process's share of the matrix and how
+	// far the sweep got; both are observable from the sink stream itself.
+	var completed, cells int
+	counter := &experiment.FuncSink{
+		Start: func(p experiment.Plan) error {
+			cells = len(p.Scenarios)
+			if p.Shard.Total > 1 {
+				lo, hi := experiment.Partition(cells, p.Shard.Shard, p.Shard.Total)
+				cells = hi - lo
+			}
+			return nil
+		},
+		Result: func(experiment.ScenarioResult) error {
+			completed++
+			return nil
+		},
+	}
 	opts := []experiment.Option{
 		experiment.WithWorkers(mf.workers),
 		experiment.WithLanes(mf.lanes),
 		experiment.WithShard(spec),
-		experiment.WithSinks(sink),
+		experiment.WithSinks(sink, counter),
+		experiment.WithContext(ctx),
 	}
 	if mf.progress {
 		opts = append(opts, experiment.WithSinks(&experiment.ProgressSink{W: os.Stderr}))
@@ -391,8 +459,28 @@ func runMatrix(mf matrixFlags) error {
 		opts = append(opts, experiment.WithCache(mf.cacheDir))
 	}
 	if _, err := experiment.NewRunner(opts...).Run(m); err != nil {
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			// Every finished cell already reached the sinks (and the cache,
+			// if one is configured): rerunning resumes from there.
+			return fmt.Errorf("interrupted: %d/%d cells completed", completed, cells)
+		}
 		return fmt.Errorf("matrix sweep: %w", err)
 	}
+	return nil
+}
+
+// printCacheStats reports a result cache directory's footprint (-stats).
+func printCacheStats(dir string) error {
+	c, err := cache.Open(dir)
+	if err != nil {
+		return err
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache %s: %d entries, %d bytes, %d orphaned temp files\n",
+		dir, st.Entries, st.TotalBytes, st.OrphanedTemps)
 	return nil
 }
 

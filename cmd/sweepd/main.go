@@ -1,0 +1,118 @@
+// Command sweepd serves the sweep job API: an HTTP daemon that accepts
+// scenario-matrix specs (POST /jobs), executes them one at a time on the
+// experiment Runner, persists every result row in a durable store, and
+// streams results and live progress back to clients.
+//
+//	sweepd -addr :8080 -cache /var/lib/sweepd/cache -store /var/lib/sweepd/store
+//
+// All jobs share one content-addressed result cache, so a matrix any job
+// (or any CLI run sharing the directory) has computed before costs nothing
+// to run again. SIGINT/SIGTERM drains gracefully: in-flight cells finish,
+// the running job is re-queued as resumable, and a restarted sweepd picks
+// it up computing only the cells the previous process never finished.
+//
+// Submit from the experiments CLI with
+//
+//	experiments -panel matrix -nodes 15,25 -server http://localhost:8080 -out jsonl
+//
+// or with curl:
+//
+//	curl -d '{"nodeCounts":[15,25],"iterations":50,"seed":1}' localhost:8080/jobs
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iotmpc/internal/service"
+	"iotmpc/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// shutdownGrace bounds how long draining waits for open HTTP responses
+// (a slow /events subscriber must not hold the process hostage).
+const shutdownGrace = 10 * time.Second
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		cacheDir = fs.String("cache", "", "content-addressed result cache directory shared by every job (required)")
+		storeDir = fs.String("store", "", "durable job/result store directory (required)")
+		workers  = fs.Int("workers", 0, "worker goroutines per job's Runner (0: GOMAXPROCS)")
+		lanes    = fs.Int("lanes", 0, "bit-sliced trial batch width 1..64 (0: default 64; results are identical for any width)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cacheDir == "" {
+		return fmt.Errorf("-cache is required (the shared result corpus)")
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required (jobs and results must survive restarts)")
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	svc, err := service.New(service.Config{
+		Store:    st,
+		CacheDir: *cacheDir,
+		Workers:  *workers,
+		Lanes:    *lanes,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Listen before starting the scheduler so a bad -addr fails fast with
+	// nothing to drain.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	svc.Start()
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s (store %s, cache %s)\n", ln.Addr(), *storeDir, *cacheDir)
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Drain order matters: stop accepting requests first, then cancel the
+		// scheduler (the in-flight job is re-queued as resumable), and only
+		// then — via the deferred Close — checkpoint and close the store.
+		fmt.Fprintln(os.Stderr, "sweepd: draining (in-flight job will be re-queued as resumable)")
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if httpSrv.Shutdown(shutCtx) != nil {
+			// An SSE subscriber never goes idle, so Shutdown can only time
+			// out on it; force-close the lingering streams.
+			httpSrv.Close()
+		}
+		svc.Close()
+		return nil
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	}
+}

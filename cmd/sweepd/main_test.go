@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRequiresDirs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no flags", nil, "-cache"},
+		{"cache only", []string{"-cache", t.TempDir()}, "-store"},
+		{"store only", []string{"-store", t.TempDir()}, "-cache"},
+		{"bad flag", []string{"-bogus"}, "bogus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err %v, want mention of %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	err := run([]string{"-cache", t.TempDir(), "-store", t.TempDir(), "-addr", "512.0.0.1:http"})
+	if err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestRunServesAndDrainsOnSIGTERM boots the daemon on a free port, drives
+// one job through the HTTP API, and checks SIGTERM drains it cleanly.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	// Disarm the default SIGTERM death for this process before the daemon
+	// goroutine races to register its own handler.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	// Find a free port; the tiny window between Close and the daemon's
+	// Listen is acceptable in a test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run([]string{"-addr", addr, "-cache", t.TempDir(), "-store", t.TempDir()})
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never came up")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"nodeCounts":[8],"lossRates":[0.0],"iterations":1,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s", base, job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got.State == "done" {
+			break
+		}
+		if got.State == "failed" {
+			t.Fatalf("job failed: %s", got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}

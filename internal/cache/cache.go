@@ -175,6 +175,47 @@ func (s *Store) Put(key string, v any) error {
 	return nil
 }
 
+// Stats summarizes the store's on-disk footprint: how many entries it
+// holds, how many bytes they occupy, and how many orphaned Put temp files a
+// crashed writer has left behind (the ones a future Open will sweep once
+// they age past staleTempAge). Surfaced by the sweep service's /healthz and
+// the experiments CLI's -stats flag.
+type Stats struct {
+	Entries       int   `json:"entries"`
+	TotalBytes    int64 `json:"totalBytes"`
+	OrphanedTemps int   `json:"orphanedTemps"`
+}
+
+// Stats walks the store directory and reports its footprint.
+func (s *Store) Stats() (Stats, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Stats{}, fmt.Errorf("cache: %w", err)
+	}
+	var st Stats
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.Contains(e.Name(), ".tmp-") {
+			st.OrphanedTemps++
+			continue
+		}
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			// The entry vanished between ReadDir and Stat (a concurrent
+			// sweep's Put/sweep); skip it rather than fail diagnostics.
+			continue
+		}
+		st.Entries++
+		st.TotalBytes += info.Size()
+	}
+	return st, nil
+}
+
 // Len counts the entries currently stored (diagnostics and tests).
 func (s *Store) Len() (int, error) {
 	entries, err := os.ReadDir(s.dir)

@@ -277,3 +277,53 @@ func TestStoreGetClassifiesErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := s.Stats()
+	if err != nil {
+		t.Fatalf("stats on empty store: %v", err)
+	}
+	if empty != (Stats{}) {
+		t.Fatalf("empty store stats %+v", empty)
+	}
+	if err := s.Put(Key("v1", []byte("a")), payload{Name: "a", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Key("v1", []byte("b")), payload{Name: "b", Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// An orphaned Put temp (crashed writer) and a subdirectory: the temp is
+	// counted, the directory ignored, neither inflates Entries/TotalBytes.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries %d, want 2", st.Entries)
+	}
+	if st.OrphanedTemps != 1 {
+		t.Errorf("orphaned temps %d, want 1", st.OrphanedTemps)
+	}
+	var sum int64
+	for _, key := range []string{Key("v1", []byte("a")), Key("v1", []byte("b"))} {
+		info, err := os.Stat(s.Path(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += info.Size()
+	}
+	if st.TotalBytes != sum {
+		t.Errorf("total bytes %d, want %d", st.TotalBytes, sum)
+	}
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"iotmpc/internal/core"
+)
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	m := Matrix{
+		Backends:     []string{"logdist", "unitdisk"},
+		NodeCounts:   []int{8, 10},
+		Degrees:      []int{0, 3},
+		LossRates:    []float64{0, 0.3},
+		NTXSharings:  []int{0, 4},
+		DestSlacks:   []int{0, 1},
+		FailureRates: []float64{0, 0.1},
+		Verifiable:   []bool{false, true},
+		VectorLens:   []int{0, 4},
+		Protocols:    []core.Protocol{core.S3, core.S4},
+		Iterations:   5,
+		Seed:         42,
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("round trip changed the matrix:\n in: %+v\nout: %+v", m, back)
+	}
+	// The wire names are the API contract: a rename would silently break
+	// every stored job spec and every client.
+	for _, field := range []string{
+		`"backends"`, `"nodeCounts"`, `"degrees"`, `"lossRates"`, `"ntxSharings"`,
+		`"destSlacks"`, `"failureRates"`, `"verifiable"`, `"vectorLens"`,
+		`"protocols"`, `"iterations"`, `"seed"`,
+	} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("encoded matrix missing field %s: %s", field, raw)
+		}
+	}
+}
+
+func TestMatrixJSONOmitsDefaultAxes(t *testing.T) {
+	raw, err := json.Marshal(Matrix{NodeCounts: []int{8}, Iterations: 1})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, field := range []string{"backends", "degrees", "lossRates", "protocols"} {
+		if strings.Contains(string(raw), field) {
+			t.Errorf("nil axis %q encoded: %s", field, raw)
+		}
+	}
+}
+
+func TestMatrixValidateAccepts(t *testing.T) {
+	m := Matrix{NodeCounts: []int{8}, Iterations: 1}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("minimal matrix rejected: %v", err)
+	}
+}
+
+// TestMatrixValidateRejections drives every constraint and asserts the error
+// names the offending JSON field — that message becomes an HTTP 400 body.
+func TestMatrixValidateRejections(t *testing.T) {
+	base := func() Matrix { return Matrix{NodeCounts: []int{8}, Iterations: 1} }
+	cases := []struct {
+		name    string
+		breakIt func(*Matrix)
+		field   string
+	}{
+		{"no node counts", func(m *Matrix) { m.NodeCounts = nil }, "nodeCounts"},
+		{"tiny network", func(m *Matrix) { m.NodeCounts = []int{5} }, "nodeCounts"},
+		{"zero iterations", func(m *Matrix) { m.Iterations = 0 }, "iterations"},
+		{"bad backend", func(m *Matrix) { m.Backends = []string{"warpdrive"} }, "backends"},
+		{"loss out of range", func(m *Matrix) { m.LossRates = []float64{1.5} }, "lossRates"},
+		{"negative loss", func(m *Matrix) { m.LossRates = []float64{-0.1} }, "lossRates"},
+		{"negative degree", func(m *Matrix) { m.Degrees = []int{-1} }, "degrees"},
+		{"negative ntx", func(m *Matrix) { m.NTXSharings = []int{-2} }, "ntxSharings"},
+		{"negative slack", func(m *Matrix) { m.DestSlacks = []int{-1} }, "destSlacks"},
+		{"failure out of range", func(m *Matrix) { m.FailureRates = []float64{1} }, "failureRates"},
+		{"vector length out of range", func(m *Matrix) { m.VectorLens = []int{core.MaxVectorLen + 1} }, "vectorLens"},
+		{"negative vector length", func(m *Matrix) { m.VectorLens = []int{-1} }, "vectorLens"},
+		{"unknown protocol", func(m *Matrix) { m.Protocols = []core.Protocol{9} }, "protocols"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base()
+			tc.breakIt(&m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Errorf("error %v does not wrap ErrBadSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.field+":") {
+				t.Errorf("error %q does not name field %q", err, tc.field)
+			}
+		})
+	}
+}
+
+// TestMatrixValidateAgreesWithScenarios pins that anything Validate accepts,
+// Scenarios can expand (for probe-free backends) — the 400-vs-500 boundary
+// the service relies on.
+func TestMatrixValidateAgreesWithScenarios(t *testing.T) {
+	m := Matrix{
+		Backends:   []string{"logdist", "unitdisk"},
+		NodeCounts: []int{8, 10},
+		LossRates:  []float64{0, 0.4},
+		Iterations: 2,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if _, err := m.Scenarios(); err != nil {
+		t.Fatalf("scenarios after validate: %v", err)
+	}
+}
+
+func TestFuncSink(t *testing.T) {
+	var starts, results, finishes int
+	s := &FuncSink{
+		Start:  func(Plan) error { starts++; return nil },
+		Result: func(ScenarioResult) error { results++; return nil },
+		Finish: func(RunSummary) error { finishes++; return nil },
+	}
+	if err := renderWith(s, make([]ScenarioResult, 3)); err != nil {
+		t.Fatalf("renderWith: %v", err)
+	}
+	if starts != 1 || results != 3 || finishes != 1 {
+		t.Fatalf("callback counts: %d/%d/%d", starts, results, finishes)
+	}
+	// All-nil callbacks are a valid no-op sink.
+	if err := renderWith(&FuncSink{}, make([]ScenarioResult, 1)); err != nil {
+		t.Fatalf("nil callbacks: %v", err)
+	}
+}

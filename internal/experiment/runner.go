@@ -244,6 +244,13 @@ func backendContentDigest(spec string) (string, error) {
 	return fmt.Sprintf("trace:%x", sum), nil
 }
 
+// ScenarioKeys computes every cell's content address in index order —
+// scenarioKeys exported for the sweep service, whose result rows are keyed
+// by exactly these addresses (dedup across jobs rides on the cache keys).
+func ScenarioKeys(scenarios []Scenario) ([]string, error) {
+	return scenarioKeys(scenarios)
+}
+
 // scenarioKeys computes every cell's content address, hashing each distinct
 // trace file once per sweep instead of once per cell. Sharding and merging
 // both key the whole matrix — a shard needs every key for its manifests and

@@ -123,37 +123,103 @@ type Scenario struct {
 // Matrix declares a sweep as per-axis value lists; Scenarios expands the
 // cross product. Nil axes select defaults, so the zero value plus NodeCounts
 // and Iterations is a runnable spec.
+//
+// The JSON encoding is the sweep service's wire format: POST /jobs accepts
+// exactly these field names, and Validate reports violations against them so
+// API rejections point at the offending field.
 type Matrix struct {
 	// Backends is the radio-model axis (specs per ParseBackend); nil selects
 	// {DefaultBackend}.
-	Backends []string
+	Backends []string `json:"backends,omitempty"`
 	// NodeCounts is the network-size axis (each >= 6). Required.
-	NodeCounts []int
+	NodeCounts []int `json:"nodeCounts"`
 	// Degrees is the threshold axis; nil selects {0} (= ⌊n/3⌋).
-	Degrees []int
+	Degrees []int `json:"degrees,omitempty"`
 	// LossRates is the interference axis; nil selects the default PHY burst
 	// probability. Values must lie in [0, 1).
-	LossRates []float64
+	LossRates []float64 `json:"lossRates,omitempty"`
 	// NTXSharings is S4's sharing/reconstruction NTX axis; nil selects {0}
 	// (= the protocol default, 6).
-	NTXSharings []int
+	NTXSharings []int `json:"ntxSharings,omitempty"`
 	// DestSlacks is S4's extra-destination axis; nil selects {0}.
-	DestSlacks []int
+	DestSlacks []int `json:"destSlacks,omitempty"`
 	// FailureRates is the crash-injection axis (fraction of nodes failed per
 	// scenario, in [0, 1)); nil selects {0} (no failures).
-	FailureRates []float64
+	FailureRates []float64 `json:"failureRates,omitempty"`
 	// Verifiable is the VSS-mode axis; nil selects {false}. {false, true}
 	// sweeps the verification overhead head-to-head.
-	Verifiable []bool
+	Verifiable []bool `json:"verifiable,omitempty"`
 	// VectorLens is the reading-vector-length axis; nil selects {0} (the
 	// scalar round). Values must lie in [0, core.MaxVectorLen].
-	VectorLens []int
+	VectorLens []int `json:"vectorLens,omitempty"`
 	// Protocols is the protocol axis; nil selects {S3, S4}.
-	Protocols []core.Protocol
+	Protocols []core.Protocol `json:"protocols,omitempty"`
 	// Iterations is the Monte-Carlo repetition count per scenario. Required.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// Seed roots the whole sweep; per-scenario seeds are derived from it.
-	Seed int64
+	Seed int64 `json:"seed"`
+}
+
+// Validate checks a matrix as an API submission: every violated constraint
+// is reported against the JSON field name that carries it, so a service can
+// turn the error straight into an actionable 400 instead of letting a bad
+// spec panic (or ErrBadSpec) deep inside the Runner. It deliberately skips
+// the backend probe simulation Scenarios performs — Validate is the cheap
+// front door; expansion still re-checks everything it always did.
+func (m Matrix) Validate() error {
+	if len(m.NodeCounts) == 0 {
+		return fmt.Errorf("%w: nodeCounts: required (at least one network size)", ErrBadSpec)
+	}
+	for _, n := range m.NodeCounts {
+		if n < 6 {
+			return fmt.Errorf("%w: nodeCounts: %d too few (need >= 6)", ErrBadSpec, n)
+		}
+	}
+	if m.Iterations <= 0 {
+		return fmt.Errorf("%w: iterations: %d (need >= 1)", ErrBadSpec, m.Iterations)
+	}
+	for _, b := range m.Backends {
+		if _, err := ParseBackend(b); err != nil {
+			return fmt.Errorf("%w: backends: %q: %v", ErrBadSpec, b, err)
+		}
+	}
+	for _, lr := range m.LossRates {
+		if lr < 0 || lr >= 1 {
+			return fmt.Errorf("%w: lossRates: %v outside [0,1)", ErrBadSpec, lr)
+		}
+	}
+	for _, d := range m.Degrees {
+		if d < 0 {
+			return fmt.Errorf("%w: degrees: %d negative", ErrBadSpec, d)
+		}
+	}
+	for _, ntx := range m.NTXSharings {
+		if ntx < 0 {
+			return fmt.Errorf("%w: ntxSharings: %d negative", ErrBadSpec, ntx)
+		}
+	}
+	for _, slack := range m.DestSlacks {
+		if slack < 0 {
+			return fmt.Errorf("%w: destSlacks: %d negative", ErrBadSpec, slack)
+		}
+	}
+	for _, fr := range m.FailureRates {
+		if fr < 0 || fr >= 1 {
+			return fmt.Errorf("%w: failureRates: %v outside [0,1)", ErrBadSpec, fr)
+		}
+	}
+	for _, vl := range m.VectorLens {
+		if vl < 0 || vl > core.MaxVectorLen {
+			return fmt.Errorf("%w: vectorLens: %d outside [0,%d]", ErrBadSpec, vl, core.MaxVectorLen)
+		}
+	}
+	for _, p := range m.Protocols {
+		if p != core.S3 && p != core.S4 {
+			return fmt.Errorf("%w: protocols: unknown protocol %d (S3=%d, S4=%d)",
+				ErrBadSpec, int(p), int(core.S3), int(core.S4))
+		}
+	}
+	return nil
 }
 
 // Scenarios expands the matrix into the ordered scenario list. Expansion

@@ -178,9 +178,16 @@ func (c *CSVSink) OnStart(Plan) error {
 	return c.w.Write(matrixCSVHeader)
 }
 
-// OnResult implements Sink.
+// OnResult implements Sink. Each record is flushed through to the
+// underlying writer immediately: an interrupted sweep (SIGINT on the CLI, a
+// draining service) must never drop rows of already-completed cells inside
+// the csv writer's buffer.
 func (c *CSVSink) OnResult(r ScenarioResult) error {
-	return c.w.Write(matrixCSVRecord(r))
+	if err := c.w.Write(matrixCSVRecord(r)); err != nil {
+		return err
+	}
+	c.w.Flush()
+	return c.w.Error()
 }
 
 // OnFinish implements Sink.
@@ -211,6 +218,40 @@ func (j *JSONLSink) OnResult(r ScenarioResult) error {
 
 // OnFinish implements Sink.
 func (j *JSONLSink) OnFinish(RunSummary) error { return nil }
+
+// FuncSink adapts up to three callbacks into a Sink; nil callbacks are
+// skipped. It is the one-off-consumer escape hatch: the CLI counts completed
+// cells for its interrupt report with one, the service fans progress into
+// its SSE hub with another, neither deserving a named type.
+type FuncSink struct {
+	Start  func(Plan) error
+	Result func(ScenarioResult) error
+	Finish func(RunSummary) error
+}
+
+// OnStart implements Sink.
+func (f *FuncSink) OnStart(p Plan) error {
+	if f.Start == nil {
+		return nil
+	}
+	return f.Start(p)
+}
+
+// OnResult implements Sink.
+func (f *FuncSink) OnResult(r ScenarioResult) error {
+	if f.Result == nil {
+		return nil
+	}
+	return f.Result(r)
+}
+
+// OnFinish implements Sink.
+func (f *FuncSink) OnFinish(s RunSummary) error {
+	if f.Finish == nil {
+		return nil
+	}
+	return f.Finish(s)
+}
 
 // renderWith drives a sink over an already-computed result slice — the batch
 // adapters MatrixTable and MatrixCSV are this over a strings.Builder.

@@ -1,0 +1,436 @@
+// Package service is the sweep service's HTTP layer: a job API over the
+// experiment Runner. POST /jobs accepts a Matrix spec as JSON and queues it;
+// a scheduler goroutine drains the queue into the Runner one job at a time,
+// with the Sink interface as the transport boundary — a storeSink persists
+// every completed cell into the durable store and fans progress out to SSE
+// subscribers. Results stream back as JSONL (GET /jobs/{id}/results) in
+// deterministic index order, byte-identical to what a CLI run of the same
+// matrix prints, and all jobs share one content-addressed result cache, so
+// a matrix any job has computed before costs nothing to run again.
+//
+// Crash safety composes from the layers below: the store re-queues jobs
+// that were running when the process died, and the Runner's cache prober
+// resumes them computing only the cells the dead run never finished.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"iotmpc/internal/cache"
+	"iotmpc/internal/experiment"
+	"iotmpc/internal/store"
+)
+
+// Config wires a Server to its store, cache, and Runner knobs.
+type Config struct {
+	// Store is the durable job/result store. Required.
+	Store *store.Store
+	// CacheDir roots the content-addressed result cache every job shares —
+	// the deduplicated corpus. Required.
+	CacheDir string
+	// Workers, TrialWorkers, and Lanes configure each job's Runner exactly
+	// like the CLI flags of the same names (zero selects the defaults).
+	Workers      int
+	TrialWorkers int
+	Lanes        int
+}
+
+// maxSpecBytes bounds a POST /jobs body; a matrix spec is a few hundred
+// bytes of axis lists, so a megabyte is already generous.
+const maxSpecBytes = 1 << 20
+
+// Server is the sweep service: HTTP handlers plus the scheduler goroutine.
+// Construct with New, serve Handler, call Start to begin executing jobs,
+// and Close to drain (the in-flight job is canceled and re-queued as
+// resumable — the store must outlive the Close call).
+type Server struct {
+	cfg    Config
+	cache  *cache.Store
+	hub    *hub
+	mux    *http.ServeMux
+	wake   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a Server over an open store: jobs left running by a crashed or
+// drained predecessor are re-queued for resume, and everything queued is
+// picked up once Start is called.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("service: nil store")
+	}
+	if cfg.CacheDir == "" {
+		return nil, fmt.Errorf("service: empty cache directory (the shared result corpus is required)")
+	}
+	cacheStore, err := cache.Open(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		cache:  cacheStore,
+		hub:    newHub(),
+		wake:   make(chan struct{}, 1),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	// Recovery: a job that was Running when the previous process stopped
+	// never reached a terminal state. Its completed cells are in the cache,
+	// so re-queuing it makes the next execution a resume that computes only
+	// the missing cells.
+	for _, job := range cfg.Store.Jobs() {
+		if job.State == store.Running {
+			if _, err := cfg.Store.UpdateJob(job.ID, true, func(j *store.Job) {
+				j.State = store.Queued
+				j.Error = "resumable: interrupted by restart"
+			}); err != nil {
+				cancel()
+				return nil, err
+			}
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the scheduler goroutine.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.runLoop()
+}
+
+// Close drains the service: the in-flight job's Runner context is canceled
+// (in-flight cells finish, everything not yet dispatched is skipped), the
+// job is re-queued as resumable, and the scheduler exits. The store stays
+// open — closing it is the owner's job, after Close returns.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// notify nudges the scheduler; the buffered channel coalesces bursts.
+func (s *Server) notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// runLoop is the scheduler: oldest queued job first, one at a time — cells
+// already fan across the Runner's worker pool, so job-level concurrency
+// would only make two sweeps fight over the same cores. Exits when the
+// service context is canceled, or on a store write failure (at which point
+// no progress can be recorded truthfully, so executing more jobs would lie).
+func (s *Server) runLoop() {
+	defer s.wg.Done()
+	for {
+		if s.ctx.Err() != nil {
+			return
+		}
+		id, ok := s.nextQueued()
+		if !ok {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-s.wake:
+			}
+			continue
+		}
+		if err := s.runJob(id); err != nil {
+			return
+		}
+	}
+}
+
+// nextQueued returns the oldest queued job's ID.
+func (s *Server) nextQueued() (string, bool) {
+	for _, job := range s.cfg.Store.Jobs() {
+		if job.State == store.Queued {
+			return job.ID, true
+		}
+	}
+	return "", false
+}
+
+// runJob executes one job on the Runner. The returned error is a STORE
+// failure — job-level failures (bad spec, sweep error) are recorded on the
+// job itself and do not stop the scheduler.
+func (s *Server) runJob(id string) error {
+	job, err := s.cfg.Store.UpdateJob(id, true, func(j *store.Job) {
+		j.State = store.Running
+		j.Error = ""
+	})
+	if err != nil {
+		return err
+	}
+	s.publishState(job)
+
+	var m experiment.Matrix
+	if err := json.Unmarshal(job.Spec, &m); err != nil {
+		return s.finishJob(id, store.Failed, fmt.Sprintf("decode stored spec: %v", err), nil)
+	}
+	sink := &storeSink{store: s.cfg.Store, hub: s.hub, jobID: id}
+	opts := []experiment.Option{
+		experiment.WithWorkers(s.cfg.Workers),
+		experiment.WithLanes(s.cfg.Lanes),
+		experiment.WithCache(s.cfg.CacheDir),
+		experiment.WithContext(s.ctx),
+		experiment.WithSinks(sink),
+	}
+	if s.cfg.TrialWorkers > 0 {
+		opts = append(opts, experiment.WithTrialWorkers(s.cfg.TrialWorkers))
+	}
+	_, runErr := experiment.NewRunner(opts...).Run(m)
+	switch {
+	case runErr == nil:
+		return s.finishJob(id, store.Done, "", &sink.summary)
+	case s.ctx.Err() != nil && errors.Is(runErr, context.Canceled):
+		// Drain, not failure: back to the queue so the next Start — this
+		// process's or a successor's — resumes from the cache.
+		return s.finishJob(id, store.Queued,
+			fmt.Sprintf("resumable: interrupted by shutdown after %d/%d cells", sink.completed, sink.cells), nil)
+	default:
+		return s.finishJob(id, store.Failed, runErr.Error(), nil)
+	}
+}
+
+// finishJob records a terminal (or re-queued) state plus the run summary and
+// broadcasts it. The non-nil return is a store failure, which stops the
+// scheduler.
+func (s *Server) finishJob(id string, state store.State, errMsg string, sum *experiment.RunSummary) error {
+	job, err := s.cfg.Store.UpdateJob(id, true, func(j *store.Job) {
+		j.State = state
+		j.Error = errMsg
+		if sum != nil {
+			j.Completed = sum.Cells
+			j.CacheHits = sum.CacheHits
+			j.Computed = sum.Computed
+			j.Resumed = sum.Resumed
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.publishState(job)
+	return nil
+}
+
+// publishState broadcasts the job record as an SSE "state" event.
+func (s *Server) publishState(job store.Job) {
+	if data, err := json.Marshal(job); err == nil {
+		s.hub.publish(job.ID, event{name: "state", data: data})
+	}
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleSubmit accepts a Matrix spec, validates it, and queues the job.
+// Validation failures are 400s that name the offending JSON field — the
+// point of Matrix.Validate — and unknown fields are rejected so a typoed
+// axis name cannot silently select a default.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var m experiment.Matrix
+	if err := dec.Decode(&m); err != nil {
+		httpError(w, http.StatusBadRequest, "decode matrix spec: "+err.Error())
+		return
+	}
+	if err := m.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Expansion probes each backend against each size (typos, unreadable
+	// trace files, size conflicts) — still the submitter's fault: 400.
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, err := json.Marshal(m)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	job, err := s.cfg.Store.CreateJob(spec, len(scenarios))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.notify()
+	writeJSON(w, http.StatusCreated, job)
+}
+
+// handleJob returns one job's record: state, progress, summary counters.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.cfg.Store.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleResults streams the job's results as JSONL in index order: for each
+// cell, the row persisted by the storeSink — exactly the bytes a CLI run
+// with -out jsonl prints. A still-running job streams its completed prefix
+// (the X-Sweep-State header says which case the client is in).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.cfg.Store.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	var m experiment.Matrix
+	if err := json.Unmarshal(job.Spec, &m); err != nil {
+		httpError(w, http.StatusInternalServerError, "stored spec: "+err.Error())
+		return
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	keys, err := experiment.ScenarioKeys(scenarios)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-State", string(job.State))
+	w.WriteHeader(http.StatusOK)
+	for _, key := range keys {
+		row, ok := s.cfg.Store.Row(key)
+		if !ok {
+			// Rows land in index order, so the first gap is the frontier of
+			// a job still running (or interrupted): the prefix IS the
+			// deterministic stream so far.
+			return
+		}
+		w.Write(row)
+		w.Write([]byte{'\n'})
+	}
+}
+
+// eventsPollInterval is the /events fallback cadence: progress events can be
+// dropped for a slow subscriber, so the handler re-reads the job state on a
+// timer to guarantee the terminal state is always delivered.
+const eventsPollInterval = time.Second
+
+// handleEvents streams a job's lifecycle as server-sent events: an initial
+// "state" snapshot, "progress" per completed cell, and a final "state" when
+// the job reaches a terminal state (which also ends the stream).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.cfg.Store.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev event) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+		flusher.Flush()
+	}
+	terminal := func(j store.Job) bool {
+		return j.State == store.Done || j.State == store.Failed
+	}
+
+	// Subscribe BEFORE the initial snapshot: anything published after the
+	// snapshot is either in the queue or reflected by the poll.
+	sub := s.hub.subscribe(id)
+	defer s.hub.unsubscribe(id, sub)
+	if data, err := json.Marshal(job); err == nil {
+		writeEvent(event{name: "state", data: data})
+	}
+	if terminal(job) {
+		return
+	}
+	ticker := time.NewTicker(eventsPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub.ch:
+			writeEvent(ev)
+			if ev.name == "state" {
+				if j, ok := s.cfg.Store.Job(id); ok && terminal(j) {
+					return
+				}
+			}
+		case <-ticker.C:
+			// The drop-on-overflow hub can lose the terminal state event for
+			// a slow subscriber; the poll makes delivery inevitable.
+			j, ok := s.cfg.Store.Job(id)
+			if !ok {
+				return
+			}
+			if terminal(j) {
+				if data, err := json.Marshal(j); err == nil {
+					writeEvent(event{name: "state", data: data})
+				}
+				return
+			}
+		}
+	}
+}
+
+// healthz is the GET /healthz body.
+type healthz struct {
+	Status    string              `json:"status"`
+	Cache     cache.Stats         `json:"cache"`
+	Jobs      map[store.State]int `json:"jobs"`
+	StoreRows int                 `json:"storeRows"`
+}
+
+// handleHealthz reports liveness plus the cache and store footprint.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.cache.Stats()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	h := healthz{Status: "ok", Cache: stats, Jobs: make(map[store.State]int), StoreRows: s.cfg.Store.RowCount()}
+	for _, job := range s.cfg.Store.Jobs() {
+		h.Jobs[job.State]++
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,73 @@
+package service
+
+import "sync"
+
+// event is one server-sent event: a name ("progress" or "state") and a
+// pre-encoded JSON data payload.
+type event struct {
+	name string
+	data []byte
+}
+
+// subscriber is one /events connection's queue. The buffer absorbs bursts;
+// publish never blocks on a slow reader (see hub.publish).
+type subscriber struct {
+	ch chan event
+}
+
+// subscriberBuffer bounds each subscriber's queue. A manifest-hit job can
+// emit its whole matrix in one scheduling quantum, far faster than a TCP
+// peer drains — overflow drops progress events for that subscriber rather
+// than stalling the sweep (the handler's state poll guarantees the terminal
+// state is still observed).
+const subscriberBuffer = 64
+
+// hub fans job progress out to SSE subscribers. Publishing is fire-and-
+// forget from the scheduler's sink; subscribing and unsubscribing happen on
+// handler goroutines as clients come and go.
+type hub struct {
+	mu   sync.Mutex
+	subs map[string]map[*subscriber]struct{}
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[string]map[*subscriber]struct{})}
+}
+
+// subscribe registers a new listener for jobID's events.
+func (h *hub) subscribe(jobID string) *subscriber {
+	sub := &subscriber{ch: make(chan event, subscriberBuffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs[jobID] == nil {
+		h.subs[jobID] = make(map[*subscriber]struct{})
+	}
+	h.subs[jobID][sub] = struct{}{}
+	return sub
+}
+
+// unsubscribe removes a listener; safe to call once per subscriber.
+func (h *hub) unsubscribe(jobID string, sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if set := h.subs[jobID]; set != nil {
+		delete(set, sub)
+		if len(set) == 0 {
+			delete(h.subs, jobID)
+		}
+	}
+}
+
+// publish delivers ev to every current subscriber of jobID, dropping it for
+// subscribers whose buffer is full: progress events are advisory, and a
+// stalled client must never backpressure the sweep.
+func (h *hub) publish(jobID string, ev event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs[jobID] {
+		select {
+		case sub.ch <- ev:
+		default:
+		}
+	}
+}

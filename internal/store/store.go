@@ -1,0 +1,433 @@
+// Package store is the sweep service's durable job/result store: every job
+// the HTTP API accepts, its position in the queued → running → done/failed
+// state machine, its per-cell progress, and one result row per completed
+// cell — keyed by the cell's content-addressed cache key, so identical cells
+// from different jobs share one row.
+//
+// Durability is stdlib-only — no cgo, no SQLite: an append-only write-ahead
+// log of JSON records plus a periodic snapshot, both in one directory. Every
+// mutation appends a WAL record first; reopening replays snapshot + WAL, so
+// a crash at any point loses at most the unsynced tail (job-state
+// transitions are fsynced; result rows ride on the next state sync, and a
+// row lost to a crash is recomputed from the result cache on resume). A torn
+// final record — the signature of a crash mid-append — is detected and
+// truncated away on Open; corruption anywhere else is an error, never a
+// silent skip.
+//
+// Snapshots are schema-versioned (SchemaVersion) with a startup migration
+// path: Open upgrades an older snapshot step by step through the migrations
+// table before serving it, and refuses a snapshot newer than the code.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's position in the lifecycle state machine. The only legal
+// transitions are Queued → Running → (Done | Failed), plus Running → Queued
+// when a drain or crash makes an in-flight job resumable.
+type State string
+
+// Job lifecycle states.
+const (
+	Queued  State = "queued"
+	Running State = "running"
+	Done    State = "done"
+	Failed  State = "failed"
+)
+
+// Job is one accepted sweep: the matrix spec as submitted, where it is in
+// the state machine, and its progress/summary counters. The JSON encoding is
+// the API's job representation as well as the WAL/snapshot one.
+type Job struct {
+	// ID is the store-assigned identifier, monotonically increasing and
+	// zero-padded so lexicographic order is creation order.
+	ID string `json:"id"`
+	// Spec is the matrix spec exactly as accepted (canonical JSON).
+	Spec json.RawMessage `json:"spec"`
+	// State is the lifecycle position.
+	State State `json:"state"`
+	// Error holds the failure cause when State is Failed, and the resumable
+	// note when a drain re-queued an in-flight job.
+	Error string `json:"error,omitempty"`
+	// Cells is the expanded matrix size; Completed counts cells whose result
+	// has been emitted (and its row persisted), so Completed/Cells is the
+	// job's progress bar.
+	Cells     int `json:"cells"`
+	Completed int `json:"completed"`
+	// CacheHits/Computed/Resumed mirror the Runner's RunSummary for the
+	// job's LAST execution: how many cells were served from the shared
+	// result cache, how many were simulated, and how many of the hits were
+	// inherited from an earlier (killed or duplicate) run. A resumed job's
+	// Computed therefore counts only the cells that were actually missing.
+	CacheHits int `json:"cacheHits"`
+	Computed  int `json:"computed"`
+	Resumed   int `json:"resumed"`
+	// Created/Updated are unix timestamps (seconds).
+	Created int64 `json:"created"`
+	Updated int64 `json:"updated"`
+}
+
+// SchemaVersion stamps every snapshot this code writes. Bump it when the
+// snapshot layout changes, and register the upgrade in migrations.
+const SchemaVersion = 1
+
+// snapshot is the on-disk checkpoint: full store state at one WAL horizon.
+type snapshot struct {
+	Schema int                        `json:"schema"`
+	Jobs   []Job                      `json:"jobs"`
+	Rows   map[string]json.RawMessage `json:"rows"`
+}
+
+// migrations upgrades a decoded snapshot one schema step at a time: the
+// function at key v takes a valid schema-v snapshot to schema v+1. Schema 0
+// is the legacy jobs-only layout from before result rows existed (no schema
+// stamp, no rows map).
+var migrations = map[int]func(*snapshot){
+	0: func(s *snapshot) {
+		if s.Rows == nil {
+			s.Rows = map[string]json.RawMessage{}
+		}
+		s.Schema = 1
+	},
+}
+
+// record is one WAL entry. Op "job" upserts a full job record (idempotent,
+// last writer wins — replay order is append order); op "row" upserts one
+// result row.
+type record struct {
+	Op  string          `json:"op"`
+	Job *Job            `json:"job,omitempty"`
+	Key string          `json:"key,omitempty"`
+	Row json.RawMessage `json:"row,omitempty"`
+}
+
+// defaultSnapshotEvery is how many WAL records accumulate before the store
+// checkpoints into a fresh snapshot and truncates the log.
+const defaultSnapshotEvery = 512
+
+// Store is the open store. All methods are safe for concurrent use.
+type Store struct {
+	// SnapshotEvery is the WAL-records-per-snapshot threshold. Exported so
+	// tests (and unusual deployments) can tune checkpoint frequency; change
+	// it before concurrent use begins.
+	SnapshotEvery int
+
+	mu         sync.Mutex
+	dir        string
+	wal        *os.File
+	jobs       map[string]Job
+	rows       map[string]json.RawMessage
+	walRecords int
+	seq        int
+	closed     bool
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
+
+// Open creates (if needed) and opens the store rooted at dir: load the
+// snapshot, migrate it to SchemaVersion if it is older, replay the WAL on
+// top, and truncate a torn final record left by a crash mid-append.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		SnapshotEvery: defaultSnapshotEvery,
+		dir:           dir,
+		jobs:          make(map[string]Job),
+		rows:          make(map[string]json.RawMessage),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.wal = wal
+	for id := range s.jobs {
+		var n int
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
+
+// loadSnapshot reads and migrates the checkpoint, if one exists.
+func (s *Store) loadSnapshot() error {
+	raw, err := os.ReadFile(s.snapshotPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if snap.Schema > SchemaVersion {
+		return fmt.Errorf("store: snapshot schema %d is newer than this binary's %d; refusing to downgrade",
+			snap.Schema, SchemaVersion)
+	}
+	for snap.Schema < SchemaVersion {
+		migrate, ok := migrations[snap.Schema]
+		if !ok {
+			return fmt.Errorf("store: no migration from snapshot schema %d", snap.Schema)
+		}
+		migrate(&snap)
+	}
+	for _, j := range snap.Jobs {
+		s.jobs[j.ID] = j
+	}
+	for k, v := range snap.Rows {
+		s.rows[k] = v
+	}
+	return nil
+}
+
+// replayWAL applies every record appended since the snapshot. A torn final
+// record (crash mid-append) is truncated away; a malformed record anywhere
+// else is corruption and surfaces as an error.
+func (s *Store) replayWAL() error {
+	raw, err := os.ReadFile(s.walPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read wal: %w", err)
+	}
+	offset := 0
+	for offset < len(raw) {
+		nl := bytes.IndexByte(raw[offset:], '\n')
+		line := raw[offset:]
+		torn := nl < 0
+		if !torn {
+			line = raw[offset : offset+nl]
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || torn {
+			if offset+len(line) >= len(raw) || torn {
+				// Last record of the file and undecodable: the torn tail of
+				// a crashed append. Cut it so future appends start clean.
+				if terr := os.Truncate(s.walPath(), int64(offset)); terr != nil {
+					return fmt.Errorf("store: truncate torn wal tail: %w", terr)
+				}
+				return nil
+			}
+			return fmt.Errorf("store: corrupt wal record at byte %d: %v", offset, err)
+		}
+		s.apply(rec)
+		s.walRecords++
+		offset += nl + 1
+	}
+	return nil
+}
+
+// apply folds one WAL record into the in-memory state.
+func (s *Store) apply(rec record) {
+	switch rec.Op {
+	case "job":
+		if rec.Job != nil {
+			s.jobs[rec.Job.ID] = *rec.Job
+		}
+	case "row":
+		if rec.Key != "" {
+			s.rows[rec.Key] = rec.Row
+		}
+	}
+}
+
+// append writes one record to the WAL (and applies it), checkpointing into a
+// snapshot when the log has grown past SnapshotEvery records. sync forces
+// the record — and, by fsync semantics, every record before it — to disk
+// before returning; state transitions sync, high-rate row/progress records
+// ride on the next synced append.
+func (s *Store) append(rec record, sync bool) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := s.wal.Write(raw); err != nil {
+		return fmt.Errorf("store: append wal: %w", err)
+	}
+	if sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: sync wal: %w", err)
+		}
+	}
+	s.apply(rec)
+	s.walRecords++
+	if s.walRecords >= s.SnapshotEvery {
+		if err := s.checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpoint writes the full state as a fresh snapshot (atomic tmp+rename)
+// and truncates the WAL. A crash between the rename and the truncate is
+// safe: replaying the old records onto the new snapshot is idempotent.
+func (s *Store) checkpoint() error {
+	snap := snapshot{Schema: SchemaVersion, Jobs: s.jobList(), Rows: s.rows}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot.tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath()); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: rewind wal: %w", err)
+	}
+	s.walRecords = 0
+	return nil
+}
+
+// jobList returns the jobs sorted by ID (creation order).
+func (s *Store) jobList() []Job {
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Close checkpoints the state and closes the WAL. Further mutations error.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.checkpoint()
+	s.closed = true
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CreateJob durably records a new job in state Queued and assigns its ID.
+func (s *Store) CreateJob(spec json.RawMessage, cells int) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	now := time.Now().Unix()
+	job := Job{
+		ID:      fmt.Sprintf("j%06d", s.seq),
+		Spec:    spec,
+		State:   Queued,
+		Cells:   cells,
+		Created: now,
+		Updated: now,
+	}
+	if err := s.append(record{Op: "job", Job: &job}, true); err != nil {
+		s.seq--
+		return Job{}, err
+	}
+	return job, nil
+}
+
+// UpdateJob applies mutate to the job and durably records the result when
+// sync is true (state transitions); progress counters pass sync false and
+// are flushed by the next synced append.
+func (s *Store) UpdateJob(id string, sync bool, mutate func(*Job)) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("store: no job %q", id)
+	}
+	mutate(&job)
+	job.ID = id // the identity is not the caller's to change
+	job.Updated = time.Now().Unix()
+	if err := s.append(record{Op: "job", Job: &job}, sync); err != nil {
+		return Job{}, err
+	}
+	return job, nil
+}
+
+// Job returns the job by ID.
+func (s *Store) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// Jobs returns every job, sorted by ID (creation order).
+func (s *Store) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobList()
+}
+
+// PutRow upserts one result row under its content-addressed cache key. Rows
+// are deduplicated by key across jobs: two jobs whose matrices share a cell
+// share its row. Not synced — a row lost to a crash is recomputed from the
+// result cache when the job resumes.
+func (s *Store) PutRow(key string, row []byte) error {
+	if key == "" {
+		return fmt.Errorf("store: empty row key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(record{Op: "row", Key: key, Row: json.RawMessage(row)}, false)
+}
+
+// Row returns the result row stored under key.
+func (s *Store) Row(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok := s.rows[key]
+	return row, ok
+}
+
+// RowCount reports how many distinct result rows the store holds.
+func (s *Store) RowCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return s
+}
+
+func TestCreateAndGetJob(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	job, err := s.CreateJob(json.RawMessage(`{"nodeCounts":[8]}`), 4)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if job.ID != "j000001" || job.State != Queued || job.Cells != 4 {
+		t.Fatalf("unexpected job %+v", job)
+	}
+	got, ok := s.Job(job.ID)
+	if !ok || got.State != Queued {
+		t.Fatalf("lookup: ok=%v job=%+v", ok, got)
+	}
+	if _, ok := s.Job("j999999"); ok {
+		t.Error("phantom job found")
+	}
+}
+
+func TestUpdateJobAndStateMachine(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	job, _ := s.CreateJob(json.RawMessage(`{}`), 2)
+	upd, err := s.UpdateJob(job.ID, true, func(j *Job) {
+		j.State = Running
+		j.ID = "hijack" // must be ignored
+	})
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if upd.ID != job.ID || upd.State != Running {
+		t.Fatalf("update result %+v", upd)
+	}
+	if _, err := s.UpdateJob("j424242", true, func(*Job) {}); err == nil {
+		t.Error("update of missing job accepted")
+	}
+}
+
+func TestReopenReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	job, _ := s.CreateJob(json.RawMessage(`{"iterations":3}`), 2)
+	s.UpdateJob(job.ID, false, func(j *Job) { j.Completed = 1 })
+	if err := s.PutRow("cafe", []byte(`{"x":1}`)); err != nil {
+		t.Fatalf("put row: %v", err)
+	}
+	// Close WITHOUT checkpointing: drop the handle so reopen must replay
+	// the raw WAL, not the snapshot Close would write.
+	s.wal.Close()
+
+	r := openT(t, dir)
+	defer r.Close()
+	got, ok := r.Job(job.ID)
+	if !ok || got.Completed != 1 {
+		t.Fatalf("replayed job: ok=%v %+v", ok, got)
+	}
+	row, ok := r.Row("cafe")
+	if !ok || string(row) != `{"x":1}` {
+		t.Fatalf("replayed row: ok=%v %q", ok, row)
+	}
+	// The ID sequence continues past replayed jobs instead of reissuing.
+	next, _ := r.CreateJob(json.RawMessage(`{}`), 1)
+	if next.ID != "j000002" {
+		t.Fatalf("sequence after reopen: %s", next.ID)
+	}
+}
+
+func TestTornWALTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	job, _ := s.CreateJob(json.RawMessage(`{}`), 1)
+	s.wal.Close()
+	// Simulate a crash mid-append: a partial record with no newline.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"job","job":{"id":"j0000`)
+	f.Close()
+
+	r := openT(t, dir)
+	defer r.Close()
+	if _, ok := r.Job(job.ID); !ok {
+		t.Fatal("intact record lost with the torn tail")
+	}
+	// Appending after the truncation must yield a clean, replayable log.
+	if _, err := r.CreateJob(json.RawMessage(`{}`), 1); err != nil {
+		t.Fatalf("append after torn tail: %v", err)
+	}
+	r.wal.Close()
+	rr := openT(t, dir)
+	defer rr.Close()
+	if len(rr.Jobs()) != 2 {
+		t.Fatalf("after torn-tail recovery want 2 jobs, got %d", len(rr.Jobs()))
+	}
+}
+
+func TestCorruptMidWALIsError(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.CreateJob(json.RawMessage(`{}`), 1)
+	s.wal.Close()
+	raw, _ := os.ReadFile(filepath.Join(dir, "wal.log"))
+	// Garbage record FOLLOWED by a valid one: not a torn tail, real rot.
+	bad := append([]byte("not json at all\n"), raw...)
+	os.WriteFile(filepath.Join(dir, "wal.log"), bad, 0o644)
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt mid-log open: %v", err)
+	}
+}
+
+func TestSnapshotCheckpointAndReload(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.SnapshotEvery = 4
+	var lastID string
+	for i := 0; i < 6; i++ {
+		job, err := s.CreateJob(json.RawMessage(`{}`), 1)
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		lastID = job.ID
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Fatalf("no snapshot after %d records: %v", 6, err)
+	}
+	s.wal.Close() // crash-style: snapshot plus post-checkpoint WAL tail
+
+	r := openT(t, dir)
+	defer r.Close()
+	if got := len(r.Jobs()); got != 6 {
+		t.Fatalf("after snapshot reload: %d jobs, want 6", got)
+	}
+	if _, ok := r.Job(lastID); !ok {
+		t.Fatalf("job %s lost across checkpoint", lastID)
+	}
+}
+
+func TestCloseCheckpointsAndRefusesFurtherWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.CreateJob(json.RawMessage(`{}`), 1)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := s.CreateJob(json.RawMessage(`{}`), 1); err == nil {
+		t.Error("write after close accepted")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil || len(raw) != 0 {
+		t.Fatalf("wal not truncated by close: err=%v len=%d", err, len(raw))
+	}
+	r := openT(t, dir)
+	defer r.Close()
+	if len(r.Jobs()) != 1 {
+		t.Fatalf("snapshot-only reload: %d jobs", len(r.Jobs()))
+	}
+}
+
+func TestRowDedupByKey(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	s.PutRow("k1", []byte(`{"v":1}`))
+	s.PutRow("k1", []byte(`{"v":1}`))
+	s.PutRow("k2", []byte(`{"v":2}`))
+	if n := s.RowCount(); n != 2 {
+		t.Fatalf("row count %d, want 2 (k1 deduplicated)", n)
+	}
+	if err := s.PutRow("", []byte(`{}`)); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestLegacySchemaZeroMigration(t *testing.T) {
+	dir := t.TempDir()
+	// A v0 snapshot: jobs only, no schema stamp, no rows map.
+	legacy := `{"jobs":[{"id":"j000007","state":"done","cells":3,"completed":3}]}`
+	os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte(legacy), 0o644)
+	s := openT(t, dir)
+	defer s.Close()
+	job, ok := s.Job("j000007")
+	if !ok || job.State != Done || job.Cells != 3 {
+		t.Fatalf("migrated job: ok=%v %+v", ok, job)
+	}
+	// The sequence respects migrated IDs.
+	next, _ := s.CreateJob(json.RawMessage(`{}`), 1)
+	if next.ID != "j000008" {
+		t.Fatalf("sequence after migration: %s", next.ID)
+	}
+	// Close rewrites the snapshot at the current schema.
+	s.Close()
+	raw, _ := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	var snap struct {
+		Schema int `json:"schema"`
+	}
+	json.Unmarshal(raw, &snap)
+	if snap.Schema != SchemaVersion {
+		t.Fatalf("rewritten snapshot schema %d, want %d", snap.Schema, SchemaVersion)
+	}
+}
+
+func TestFutureSchemaRefused(t *testing.T) {
+	dir := t.TempDir()
+	future := fmt.Sprintf(`{"schema":%d,"jobs":[]}`, SchemaVersion+1)
+	os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte(future), 0o644)
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future schema open: %v", err)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
