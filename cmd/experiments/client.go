@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,22 +20,41 @@ import (
 )
 
 // This file is the -server client: instead of executing a matrix locally,
-// the CLI submits it to a sweepd job API, polls the job to completion, and
-// streams the results back through the same output sinks. With -out jsonl
-// the bytes are copied straight from the HTTP response, so the artifact is
-// byte-identical to a local run's.
+// the CLI submits it to a sweepd v1 job API, polls the job to completion,
+// and streams the results back through the same output sinks. With -out
+// jsonl the bytes are copied straight from the HTTP response, so the
+// artifact is byte-identical to a local run's. The `jobs` and `cancel`
+// subcommands expose the rest of the v1 surface: filtered job listing and
+// cancellation.
 
 // pollInterval is how often the client re-reads the job while waiting.
 const pollInterval = 150 * time.Millisecond
 
-// apiError decodes the service's {"error": ...} body into a readable error.
+// apiError decodes the service's typed error envelope
+// {"error":{"code","field","message"}} into a readable "field: message"
+// error, falling back to the pre-v1 {"error": "..."} string shape so the
+// client still degrades gracefully against an old daemon.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var e struct {
-		Error string `json:"error"`
+	var envelope struct {
+		Error json.RawMessage `json:"error"`
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	if json.Unmarshal(body, &envelope) == nil && len(envelope.Error) > 0 {
+		var typed struct {
+			Code    string `json:"code"`
+			Field   string `json:"field"`
+			Message string `json:"message"`
+		}
+		if json.Unmarshal(envelope.Error, &typed) == nil && typed.Message != "" {
+			if typed.Field != "" {
+				return fmt.Errorf("server: %s: %s (HTTP %d, %s)", typed.Field, typed.Message, resp.StatusCode, typed.Code)
+			}
+			return fmt.Errorf("server: %s (HTTP %d, %s)", typed.Message, resp.StatusCode, typed.Code)
+		}
+		var legacy string
+		if json.Unmarshal(envelope.Error, &legacy) == nil && legacy != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", legacy, resp.StatusCode)
+		}
 	}
 	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 }
@@ -44,7 +66,7 @@ func submitJob(ctx context.Context, base string, m experiment.Matrix) (store.Job
 	if err != nil {
 		return job, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader(spec))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(spec))
 	if err != nil {
 		return job, err
 	}
@@ -66,7 +88,7 @@ func submitJob(ctx context.Context, base string, m experiment.Matrix) (store.Job
 // getJob reads one job record.
 func getJob(ctx context.Context, base, id string) (store.Job, error) {
 	var job store.Job
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return job, err
 	}
@@ -113,7 +135,7 @@ func waitForJob(ctx context.Context, base, id string, progress bool) (store.Job,
 		job, err := getJob(ctx, base, id)
 		if err != nil {
 			if ctx.Err() != nil {
-				return job, fmt.Errorf("interrupted: job %s continues on the server; its results stay fetchable at %s/jobs/%s/results", id, base, id)
+				return job, fmt.Errorf("interrupted: job %s continues on the server; its results stay fetchable at %s/v1/jobs/%s/results", id, base, id)
 			}
 			return job, err
 		}
@@ -126,10 +148,12 @@ func waitForJob(ctx context.Context, base, id string, progress bool) (store.Job,
 			return job, nil
 		case store.Failed:
 			return job, fmt.Errorf("job %s failed: %s", job.ID, job.Error)
+		case store.Canceled:
+			return job, fmt.Errorf("job %s canceled: %s (its partial results stay fetchable at %s/v1/jobs/%s/results)", job.ID, job.Error, base, id)
 		}
 		select {
 		case <-ctx.Done():
-			return job, fmt.Errorf("interrupted: job %s continues on the server; its results stay fetchable at %s/jobs/%s/results", id, base, id)
+			return job, fmt.Errorf("interrupted: job %s continues on the server; its results stay fetchable at %s/v1/jobs/%s/results", id, base, id)
 		case <-ticker.C:
 		}
 	}
@@ -140,7 +164,7 @@ func waitForJob(ctx context.Context, base, id string, progress bool) (store.Job,
 // streams exactly the bytes a local `-out jsonl` run prints; table and CSV
 // decode each row and drive the ordinary sinks.
 func streamResults(ctx context.Context, base string, job store.Job, mf matrixFlags, m experiment.Matrix) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+job.ID+"/results", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+job.ID+"/results", nil)
 	if err != nil {
 		return err
 	}
@@ -193,4 +217,132 @@ func streamResults(ctx context.Context, base string, job store.Job, mf matrixFla
 		Computed:  job.Computed,
 		Resumed:   job.Resumed,
 	})
+}
+
+// cancelJob DELETEs the job: 200 means it was killed (or already canceled)
+// on the spot, 202 means a running job is draining toward canceled.
+func cancelJob(ctx context.Context, base, id string) (store.Job, bool, error) {
+	var job store.Job
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return job, false, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return job, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return job, false, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return job, false, fmt.Errorf("decode job: %w", err)
+	}
+	return job, resp.StatusCode == http.StatusAccepted, nil
+}
+
+// jobPage mirrors the GET /v1/jobs response body.
+type jobPage struct {
+	Jobs      []store.Job `json:"jobs"`
+	NextAfter string      `json:"nextAfter"`
+}
+
+// listJobs fetches one page of GET /v1/jobs?state&limit&after.
+func listJobs(ctx context.Context, base, state string, limit int, after string) (jobPage, error) {
+	var page jobPage
+	u, err := url.Parse(base + "/v1/jobs")
+	if err != nil {
+		return page, err
+	}
+	q := u.Query()
+	if state != "" {
+		q.Set("state", state)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if after != "" {
+		q.Set("after", after)
+	}
+	u.RawQuery = q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return page, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return page, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return page, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return page, fmt.Errorf("decode job list: %w", err)
+	}
+	return page, nil
+}
+
+// runJobsCmd is `experiments jobs -server URL [-state S] [-limit N]
+// [-after ID]`: a filtered, paginated job listing printed one line per job.
+func runJobsCmd(args []string) error {
+	fs := flag.NewFlagSet("experiments jobs", flag.ContinueOnError)
+	var (
+		server = fs.String("server", "", "sweepd base URL (required)")
+		state  = fs.String("state", "", "filter: queued, running, done, failed, canceled")
+		limit  = fs.Int("limit", 0, "page size (server default 100)")
+		after  = fs.String("after", "", "resume listing after this job ID")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("jobs needs -server (the sweepd base URL)")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("jobs takes no positional arguments (got %q)", fs.Arg(0))
+	}
+	page, err := listJobs(context.Background(), strings.TrimSuffix(*server, "/"), *state, *limit, *after)
+	if err != nil {
+		return err
+	}
+	for _, job := range page.Jobs {
+		line := fmt.Sprintf("%s  %-8s  %d/%d cells", job.ID, job.State, job.Completed, job.Cells)
+		if job.Error != "" {
+			line += "  " + job.Error
+		}
+		fmt.Println(line)
+	}
+	if page.NextAfter != "" {
+		fmt.Fprintf(os.Stderr, "more: rerun with -after %s\n", page.NextAfter)
+	}
+	return nil
+}
+
+// runCancelCmd is `experiments cancel -server URL JOB_ID`: cancel a queued
+// or running job and report where it landed.
+func runCancelCmd(args []string) error {
+	fs := flag.NewFlagSet("experiments cancel", flag.ContinueOnError)
+	server := fs.String("server", "", "sweepd base URL (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("cancel needs -server (the sweepd base URL)")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cancel takes exactly one job ID (got %d arguments)", fs.NArg())
+	}
+	base := strings.TrimSuffix(*server, "/")
+	id := fs.Arg(0)
+	job, draining, err := cancelJob(context.Background(), base, id)
+	if err != nil {
+		return err
+	}
+	if draining {
+		fmt.Printf("job %s: cancellation requested, draining (watch %s/v1/jobs/%s)\n", job.ID, base, job.ID)
+		return nil
+	}
+	fmt.Printf("job %s: %s\n", job.ID, job.State)
+	return nil
 }

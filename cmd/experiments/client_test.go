@@ -119,6 +119,100 @@ func TestServerRejectedSpecSurfaces(t *testing.T) {
 	}
 }
 
+// TestJobsAndCancelSubcommands drives the daemon-management surface end to
+// end: submit, list (with state filter and pagination), cancel, list again.
+func TestJobsAndCancelSubcommands(t *testing.T) {
+	url := startTestService(t)
+	// Two identical queued... actually done-quickly jobs via the matrix path.
+	submit := func() {
+		t.Helper()
+		if _, err := captureStdout(t, func() error {
+			return run([]string{"-panel", "matrix", "-nodes", "8", "-loss", "0.0",
+				"-iters", "1", "-out", "jsonl", "-server", url})
+		}); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	submit()
+	submit()
+
+	out, err := captureStdout(t, func() error { return run([]string{"jobs", "-server", url}) })
+	if err != nil {
+		t.Fatalf("jobs: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "done") {
+		t.Fatalf("jobs output:\n%s", out)
+	}
+	id := strings.Fields(lines[0])[0]
+
+	// State filter: nothing queued, both done.
+	out, err = captureStdout(t, func() error { return run([]string{"jobs", "-server", url, "-state", "queued"}) })
+	if err != nil || strings.TrimSpace(string(out)) != "" {
+		t.Fatalf("queued filter: err %v out %q", err, out)
+	}
+	out, err = captureStdout(t, func() error { return run([]string{"jobs", "-server", url, "-limit", "1", "-after", id}) })
+	if err != nil || len(strings.Split(strings.TrimSpace(string(out)), "\n")) != 1 {
+		t.Fatalf("pagination: err %v out %q", err, out)
+	}
+	// Bad filter surfaces the envelope's field.
+	err = run([]string{"jobs", "-server", url, "-state", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "state") {
+		t.Fatalf("bogus state: err %v, want error naming the state field", err)
+	}
+
+	// Cancel: a done job is a conflict; a fresh queued-or-running one lands
+	// in canceled (the service is fast, so accept either the immediate kill
+	// or the drain message).
+	err = run([]string{"cancel", "-server", url, id})
+	if err == nil || !strings.Contains(err.Error(), "done") {
+		t.Fatalf("cancel done job: err %v, want conflict mentioning done", err)
+	}
+	if err := run([]string{"cancel", "-server", url}); err == nil {
+		t.Fatal("cancel without job ID accepted")
+	}
+	if err := run([]string{"jobs"}); err == nil || !strings.Contains(err.Error(), "-server") {
+		t.Fatalf("jobs without -server: err %v", err)
+	}
+}
+
+// TestCancelQueuedViaCLI: cancel against a stopped scheduler kills the
+// queued job on the spot and `jobs -state canceled` reports it.
+func TestCancelQueuedViaCLI(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{Store: st, CacheDir: t.TempDir()})
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler()) // scheduler never started
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+		st.Close()
+	})
+	job, err := submitJob(context.Background(), ts.URL, experiment.Matrix{
+		NodeCounts: []int{8}, LossRates: []float64{0}, Iterations: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error { return run([]string{"cancel", "-server", ts.URL, job.ID}) })
+	if err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if !strings.Contains(string(out), "canceled") {
+		t.Fatalf("cancel output %q", out)
+	}
+	out, err = captureStdout(t, func() error { return run([]string{"jobs", "-server", ts.URL, "-state", "canceled"}) })
+	if err != nil || !strings.Contains(string(out), job.ID) {
+		t.Fatalf("canceled listing: err %v out %q", err, out)
+	}
+}
+
 // TestStatsFlag: -stats prints the cache footprint and runs nothing.
 func TestStatsFlag(t *testing.T) {
 	if err := run([]string{"-stats"}); err == nil || !strings.Contains(err.Error(), "-cache") {

@@ -32,6 +32,13 @@
 //	experiments -panel matrix -nodes 15,25,40 -cache /nfs/sweep -shard 1/3 &
 //	experiments -panel matrix -nodes 15,25,40 -cache /nfs/sweep -shard 2/3 -steal
 //	experiments merge -nodes 15,25,40 -cache /nfs/sweep -shards 3 -out jsonl
+//
+// Against a sweepd daemon, -server submits the sweep as a job, and the
+// `jobs` and `cancel` subcommands manage the daemon's queue:
+//
+//	experiments -panel matrix -nodes 15,25 -server http://localhost:8080 -out jsonl
+//	experiments jobs -server http://localhost:8080 -state running
+//	experiments cancel -server http://localhost:8080 j000003
 package main
 
 import (
@@ -77,6 +84,16 @@ type matrixFlags struct {
 }
 
 func run(args []string) error {
+	// The sweepd-client subcommands have their own tiny flag sets: `jobs`
+	// lists the daemon's jobs (filtered, paginated) and `cancel` kills one.
+	if len(args) > 0 {
+		switch args[0] {
+		case "jobs":
+			return runJobsCmd(args[1:])
+		case "cancel":
+			return runCancelCmd(args[1:])
+		}
+	}
 	// `experiments merge ...` assembles a sharded sweep from its cache
 	// directory instead of running anything; the matrix axis flags select
 	// which sweep to assemble.

@@ -1,15 +1,20 @@
 // Command sweepd serves the sweep job API: an HTTP daemon that accepts
-// scenario-matrix specs (POST /jobs), executes them one at a time on the
-// experiment Runner, persists every result row in a durable store, and
-// streams results and live progress back to clients.
+// scenario-matrix specs (POST /v1/jobs), executes them concurrently on a
+// shared worker pool that interleaves cells fairly across jobs (a 1-cell
+// job submitted behind a 10k-cell sweep finishes in seconds), persists
+// every result row in a durable store, and streams results and live
+// progress back to clients. Jobs can be listed (GET /v1/jobs), canceled
+// (DELETE /v1/jobs/{id}), and old terminal jobs garbage-collected by a
+// retention policy.
 //
-//	sweepd -addr :8080 -cache /var/lib/sweepd/cache -store /var/lib/sweepd/store
+//	sweepd -addr :8080 -cache /var/lib/sweepd/cache -store /var/lib/sweepd/store \
+//	       -retain-jobs 1000 -retain-age 720h
 //
 // All jobs share one content-addressed result cache, so a matrix any job
 // (or any CLI run sharing the directory) has computed before costs nothing
 // to run again. SIGINT/SIGTERM drains gracefully: in-flight cells finish,
-// the running job is re-queued as resumable, and a restarted sweepd picks
-// it up computing only the cells the previous process never finished.
+// running jobs are re-queued as resumable, and a restarted sweepd picks
+// them up computing only the cells the previous process never finished.
 //
 // Submit from the experiments CLI with
 //
@@ -17,7 +22,10 @@
 //
 // or with curl:
 //
-//	curl -d '{"nodeCounts":[15,25],"iterations":50,"seed":1}' localhost:8080/jobs
+//	curl -d '{"nodeCounts":[15,25],"iterations":50,"seed":1}' localhost:8080/v1/jobs
+//
+// The pre-v1 unversioned paths (/jobs, /healthz, ...) remain as deprecated
+// aliases for one release.
 package main
 
 import (
@@ -49,11 +57,14 @@ const shutdownGrace = 10 * time.Second
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		cacheDir = fs.String("cache", "", "content-addressed result cache directory shared by every job (required)")
-		storeDir = fs.String("store", "", "durable job/result store directory (required)")
-		workers  = fs.Int("workers", 0, "worker goroutines per job's Runner (0: GOMAXPROCS)")
-		lanes    = fs.Int("lanes", 0, "bit-sliced trial batch width 1..64 (0: default 64; results are identical for any width)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		cacheDir   = fs.String("cache", "", "content-addressed result cache directory shared by every job (required)")
+		storeDir   = fs.String("store", "", "durable job/result store directory (required)")
+		workers    = fs.Int("workers", 0, "cell workers shared by all active jobs (0: GOMAXPROCS)")
+		lanes      = fs.Int("lanes", 0, "bit-sliced trial batch width 1..64 (0: default 64; results are identical for any width)")
+		maxActive  = fs.Int("max-active-jobs", 0, "jobs holding Runners at once; cells interleave fairly across them (0: default 4)")
+		retainJobs = fs.Int("retain-jobs", 0, "keep at most N terminal jobs; older ones and their unreferenced rows are pruned at checkpoint (0: keep all)")
+		retainAge  = fs.Duration("retain-age", 0, "prune terminal jobs not updated within this duration, e.g. 720h (0: keep forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,21 +75,35 @@ func run(args []string) error {
 	if *storeDir == "" {
 		return fmt.Errorf("-store is required (jobs and results must survive restarts)")
 	}
+	if *retainJobs < 0 || *retainAge < 0 {
+		return fmt.Errorf("-retain-jobs and -retain-age must be >= 0")
+	}
 
 	st, err := store.Open(*storeDir)
 	if err != nil {
 		return err
 	}
 	defer st.Close()
+	st.Retention = store.RetentionPolicy{MaxJobs: *retainJobs, MaxAge: *retainAge}
 
 	svc, err := service.New(service.Config{
-		Store:    st,
-		CacheDir: *cacheDir,
-		Workers:  *workers,
-		Lanes:    *lanes,
+		Store:         st,
+		CacheDir:      *cacheDir,
+		Workers:       *workers,
+		Lanes:         *lanes,
+		MaxActiveJobs: *maxActive,
 	})
 	if err != nil {
 		return err
+	}
+	// One deterministic GC at boot — after service.New, which backfills row
+	// keys onto jobs from before the retention schema, so shared-row
+	// accounting is complete before anything is swept. Steady-state pruning
+	// then rides every store checkpoint.
+	if jobs, rows, err := st.GC(); err != nil {
+		return err
+	} else if jobs > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd: retention pruned %d terminal jobs, swept %d rows\n", jobs, rows)
 	}
 
 	// Listen before starting the scheduler so a bad -addr fails fast with

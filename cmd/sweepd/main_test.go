@@ -11,6 +11,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"iotmpc/internal/store"
 )
 
 func TestRunRequiresDirs(t *testing.T) {
@@ -38,6 +40,101 @@ func TestRunBadListenAddr(t *testing.T) {
 	err := run([]string{"-cache", t.TempDir(), "-store", t.TempDir(), "-addr", "512.0.0.1:http"})
 	if err == nil {
 		t.Fatal("unlistenable address accepted")
+	}
+}
+
+func TestRunRejectsNegativeRetention(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-retain-jobs", "-1"},
+		{"-retain-age", "-1h"},
+	} {
+		args := append([]string{"-cache", t.TempDir(), "-store", t.TempDir()}, extra...)
+		if err := run(args); err == nil || !strings.Contains(err.Error(), "-retain") {
+			t.Errorf("%v: err %v, want retention complaint", extra, err)
+		}
+	}
+}
+
+// TestBootGCPrunesTerminalJobs: a store seeded with two finished jobs boots
+// under -retain-jobs 1 and comes up with only the newer one (visible via
+// /v1/healthz and /v1/jobs), the pruned job's exclusive row swept.
+func TestBootGCPrunesTerminalJobs(t *testing.T) {
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	storeDir := t.TempDir()
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		job, err := st.CreateJob(json.RawMessage(`["seeded, not a matrix"]`), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := fmt.Sprintf("row-%d", i)
+		if err := st.SetJobKeys(job.ID, []string{key}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.PutRow(key, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.UpdateJob(job.ID, true, func(j *store.Job) { j.State = store.Running }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.UpdateJob(job.ID, true, func(j *store.Job) { j.State = store.Done }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run([]string{"-addr", addr, "-cache", t.TempDir(), "-store", storeDir,
+			"-retain-jobs", "1"})
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	var health struct {
+		Jobs      map[string]int `json:"jobs"`
+		StoreRows int            `json:"storeRows"`
+	}
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never came up")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if health.Jobs["done"] != 1 || health.StoreRows != 1 {
+		t.Errorf("after boot GC: %+v, want 1 done job and 1 row", health)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
 	}
 }
 

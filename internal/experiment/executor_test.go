@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// lifoExecutor is an adversarially unfair executor: it stacks submitted
+// tasks and runs them newest-first on a fixed number of goroutines, i.e.
+// the exact opposite of the Runner's own index-order dispatch.
+type lifoExecutor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stack   []CellTask
+	closed  bool
+	workers sync.WaitGroup
+}
+
+func newLIFOExecutor(workers int) *lifoExecutor {
+	ex := &lifoExecutor{}
+	ex.cond = sync.NewCond(&ex.mu)
+	for i := 0; i < workers; i++ {
+		ex.workers.Add(1)
+		go func() {
+			defer ex.workers.Done()
+			for {
+				ex.mu.Lock()
+				for len(ex.stack) == 0 && !ex.closed {
+					ex.cond.Wait()
+				}
+				if len(ex.stack) == 0 && ex.closed {
+					ex.mu.Unlock()
+					return
+				}
+				task := ex.stack[len(ex.stack)-1]
+				ex.stack = ex.stack[:len(ex.stack)-1]
+				ex.mu.Unlock()
+				task.Run()
+			}
+		}()
+	}
+	return ex
+}
+
+func (ex *lifoExecutor) Submit(t CellTask) {
+	ex.mu.Lock()
+	ex.stack = append(ex.stack, t)
+	ex.mu.Unlock()
+	ex.cond.Signal()
+}
+
+func (ex *lifoExecutor) close() {
+	ex.mu.Lock()
+	ex.closed = true
+	ex.mu.Unlock()
+	ex.cond.Broadcast()
+	ex.workers.Wait()
+}
+
+// TestRunnerWithExecutorIdenticalResults: an external executor only decides
+// WHEN cells compute — even a LIFO, concurrent one must leave the emitted
+// stream (order and values) exactly as the internal pool produces it.
+func TestRunnerWithExecutorIdenticalResults(t *testing.T) {
+	m := runnerMatrix()
+	want, err := NewRunner(WithWorkers(1)).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		ex := newLIFOExecutor(workers)
+		sink := &recordingSink{}
+		got, err := NewRunner(WithExecutor(ex), WithSinks(sink)).Run(m)
+		ex.close()
+		if err != nil {
+			t.Fatalf("executor workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("executor workers=%d: results differ from internal pool", workers)
+		}
+		if !reflect.DeepEqual(sink.results, got) {
+			t.Fatalf("executor workers=%d: sink stream diverged", workers)
+		}
+	}
+}
+
+// TestRunnerWithExecutorCancellation: tasks still parked in the executor
+// when the context dies must degenerate to skips — Run returns the context
+// error without deadlocking and without running the remaining cells.
+func TestRunnerWithExecutorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before dispatch: every cell is either skipped or unprobed
+	ex := newLIFOExecutor(1)
+	defer ex.close()
+	_, err := NewRunner(WithExecutor(ex), WithContext(ctx)).Run(runnerMatrix())
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+}

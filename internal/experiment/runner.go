@@ -31,6 +31,7 @@ type Runner struct {
 	shard        ShardSpec
 	sinks        []Sink
 	ctx          context.Context
+	executor     Executor
 }
 
 // DefaultLaneCount is the trial-lane width Runner sweeps execute with: full
@@ -100,6 +101,37 @@ func WithSinks(sinks ...Sink) Option {
 // dispatch of not-yet-started cells (in-flight cells finish) and Run returns
 // the context's error.
 func WithContext(ctx context.Context) Option { return func(r *Runner) { r.ctx = ctx } }
+
+// CellTask is one pending (cache-missed) cell the Runner hands to an
+// external Executor instead of its own worker pool. Index is the cell's
+// position in the expanded matrix; Run simulates the cell (or, if the
+// Runner has since been canceled or failed, cheaply reports it skipped).
+type CellTask struct {
+	Index int
+	run   func()
+}
+
+// Run executes the task. It must be called exactly once, from any
+// goroutine; the Runner blocks until every submitted task has run.
+func (t CellTask) Run() { t.run() }
+
+// Executor runs cells on behalf of a Runner. Submit must not block beyond
+// enqueueing, and the executor must eventually call Run on every submitted
+// task exactly once — even after the Runner's context is canceled, when the
+// task degenerates to a cheap skip notification. The contract exists for
+// schedulers that interleave cells from several concurrent sweeps over one
+// shared worker pool (the sweep service's fair scheduler).
+type Executor interface {
+	Submit(CellTask)
+}
+
+// WithExecutor replaces the Runner's internal worker pool with an external
+// executor: every cache-missed cell is submitted as a CellTask and the
+// executor decides when (and on which worker) it runs. Emission order,
+// results, and the cache protocol are unchanged — an executor only
+// reorders *when* cells compute, never what they compute, so the emitted
+// stream stays byte-identical to an internally-pooled run.
+func WithExecutor(ex Executor) Option { return func(r *Runner) { r.executor = ex } }
 
 // NewRunner builds a Runner from options. The zero configuration (no
 // options) is RunMatrix's historical behavior: GOMAXPROCS workers, no cache,
@@ -473,24 +505,30 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 				}
 			}
 		}
-		for w := 0; w < workers; w++ {
-			go func() {
-				for i := range idxCh {
-					sc := scenarios[i]
-					res, err := runScenario(sc, factories[sc.Backend], trialWorkers, r.lanes)
-					if err == nil {
-						results[i] = res
-						if store != nil && store.Put(keys[i], res) != nil {
-							// The cache is an optimization: a failed write
-							// (full disk, read-only dir) must not discard a
-							// successfully computed sweep. The cell is simply
-							// not reusable next run; the summary counts it.
-							putErrors.Add(1)
-						}
-					}
-					compCh <- compMsg{index: i, err: err}
+		// runOne is the worker body: simulate the cell, persist it, report.
+		runOne := func(i int) {
+			sc := scenarios[i]
+			res, err := runScenario(sc, factories[sc.Backend], trialWorkers, r.lanes)
+			if err == nil {
+				results[i] = res
+				if store != nil && store.Put(keys[i], res) != nil {
+					// The cache is an optimization: a failed write
+					// (full disk, read-only dir) must not discard a
+					// successfully computed sweep. The cell is simply
+					// not reusable next run; the summary counts it.
+					putErrors.Add(1)
 				}
-			}()
+			}
+			compCh <- compMsg{index: i, err: err}
+		}
+		if r.executor == nil {
+			for w := 0; w < workers; w++ {
+				go func() {
+					for i := range idxCh {
+						runOne(i)
+					}
+				}()
+			}
 		}
 		// Prober: resolves each pending cell against the cache in index
 		// order, completing hits itself and handing misses to the
@@ -547,6 +585,25 @@ func (r *Runner) RunScenarios(scenarios []Scenario) ([]ScenarioResult, error) {
 				}
 				if stopped {
 					compCh <- compMsg{index: i, skipped: true}
+					continue
+				}
+				if r.executor != nil {
+					// External scheduling: hand the cell over and move on.
+					// The stop re-check lives inside the task, because an
+					// executor may sit on it arbitrarily long while other
+					// jobs' cells run.
+					r.executor.Submit(CellTask{Index: i, run: func() {
+						select {
+						case <-r.ctx.Done():
+							compCh <- compMsg{index: i, skipped: true}
+							return
+						case <-stop:
+							compCh <- compMsg{index: i, skipped: true}
+							return
+						default:
+						}
+						runOne(i)
+					}})
 					continue
 				}
 				select {

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"iotmpc/internal/experiment"
+)
+
+// apiError is the typed error envelope every handler returns:
+//
+//	{"error":{"code":"invalid_argument","field":"nodeCounts","message":"..."}}
+//
+// code is a stable machine-readable class; field names the offending request
+// field when one can be identified (spec validation, query parameters), and
+// is omitted otherwise.
+type apiError struct {
+	Code    string `json:"code"`
+	Field   string `json:"field,omitempty"`
+	Message string `json:"message"`
+}
+
+// errorBody wraps apiError under the "error" key.
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// Error codes. The HTTP status carries the transport semantics; the code
+// carries the API semantics (a 400 could be a malformed body or a bad query
+// parameter — both invalid_argument, distinguished by field).
+const (
+	codeInvalidArgument = "invalid_argument"
+	codeNotFound        = "not_found"
+	codeConflict        = "conflict"
+	codeInternal        = "internal"
+)
+
+// httpError writes the typed error envelope.
+func httpError(w http.ResponseWriter, status int, code, field, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: apiError{Code: code, Field: field, Message: msg}})
+}
+
+// specField extracts the JSON field a Matrix validation error names.
+// Matrix.Validate wraps ErrBadSpec and leads with the field, e.g.
+// "experiment: invalid spec: nodeCounts: 4 too few (need >= 6)".
+func specField(err error) string {
+	if !errors.Is(err, experiment.ErrBadSpec) {
+		return ""
+	}
+	msg := strings.TrimPrefix(err.Error(), experiment.ErrBadSpec.Error()+": ")
+	if i := strings.IndexByte(msg, ':'); i > 0 {
+		return msg[:i]
+	}
+	return ""
+}
+
+// decodeField extracts the field a JSON decode error points at: the struct
+// field of a type mismatch, or the quoted name in the DisallowUnknownFields
+// rejection "json: unknown field \"nodecounts\"".
+func decodeField(err error) string {
+	var ute *json.UnmarshalTypeError
+	if errors.As(err, &ute) {
+		return ute.Field
+	}
+	const marker = `unknown field "`
+	msg := err.Error()
+	if i := strings.Index(msg, marker); i >= 0 {
+		rest := msg[i+len(marker):]
+		if j := strings.IndexByte(rest, '"'); j >= 0 {
+			return rest[:j]
+		}
+	}
+	return ""
+}

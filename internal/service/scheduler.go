@@ -1,0 +1,140 @@
+package service
+
+import (
+	"sync"
+
+	"iotmpc/internal/experiment"
+)
+
+// pool is the shared cell-level scheduler: one fixed set of workers serving
+// every active job's pending-cell queue under deficit round-robin. Each job's
+// Runner hands its cache-miss cells to a jobQueue (an experiment.Executor);
+// workers pull one cell at a time, rotating across jobs, so a 1-cell job
+// admitted behind a 10k-cell job waits for at most one round of in-flight
+// cells instead of the whole sweep. Every cell has unit cost, so DRR with a
+// quantum of one cell degenerates to plain round-robin — the deficit counter
+// would never exceed one — which is why none is materialized here; the
+// rotation IS the deficit schedule.
+//
+// Fairness never reorders a job's own cells: a queue is strictly FIFO, and
+// the Runner's collector still emits results in index order, so interleaving
+// is invisible in each job's output stream.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues []*jobQueue // admission order: oldest job first
+	cursor int         // round-robin position over queues
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newPool starts workers goroutines serving the queue set.
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// worker pulls the next cell in round-robin order and runs it. Workers keep
+// draining after close — a parked task belongs to a Runner that is still
+// waiting for its completion message (cancellation turns the task into a
+// cheap skip notification, but it must still run).
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		q := p.pick()
+		for q == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			q = p.pick()
+		}
+		task := q.pending[0]
+		q.pending = q.pending[1:]
+		p.mu.Unlock()
+		task.Run()
+	}
+}
+
+// pick returns the next queue with pending cells, scanning from the cursor,
+// and advances the cursor past it — one cell per job per rotation. Caller
+// holds p.mu. Ties (several jobs becoming runnable at once) resolve oldest
+// job first because queues holds them in admission order.
+func (p *pool) pick() *jobQueue {
+	n := len(p.queues)
+	for i := 0; i < n; i++ {
+		q := p.queues[(p.cursor+i)%n]
+		if len(q.pending) > 0 {
+			p.cursor = (p.cursor + i + 1) % n
+			return q
+		}
+	}
+	return nil
+}
+
+// admit registers a job with the scheduler and returns its queue.
+func (p *pool) admit(jobID string) *jobQueue {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := &jobQueue{jobID: jobID, pool: p}
+	p.queues = append(p.queues, q)
+	return q
+}
+
+// release removes a job's queue once its Runner has returned. By then every
+// submitted task has run (the Runner blocks on their completion messages),
+// so the queue is empty.
+func (p *pool) release(q *jobQueue) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, o := range p.queues {
+		if o == q {
+			p.queues = append(p.queues[:i], p.queues[i+1:]...)
+			break
+		}
+	}
+	if len(p.queues) > 0 {
+		p.cursor %= len(p.queues)
+	} else {
+		p.cursor = 0
+	}
+}
+
+// close stops the workers after the remaining tasks drain. Callers must have
+// released (or be about to cancel) every active Runner first, since a Runner
+// whose tasks never run would block forever.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// jobQueue is one job's pending-cell queue: the experiment.Executor handed
+// to that job's Runner. Submit never blocks (the Runner's dispatcher must
+// keep moving); cells wait here until the round-robin rotation reaches this
+// job.
+type jobQueue struct {
+	jobID   string
+	pool    *pool
+	pending []experiment.CellTask // guarded by pool.mu
+}
+
+// Submit implements experiment.Executor.
+func (q *jobQueue) Submit(t experiment.CellTask) {
+	q.pool.mu.Lock()
+	q.pending = append(q.pending, t)
+	q.pool.mu.Unlock()
+	q.pool.cond.Signal()
+}

@@ -1,12 +1,22 @@
-// Package service is the sweep service's HTTP layer: a job API over the
-// experiment Runner. POST /jobs accepts a Matrix spec as JSON and queues it;
-// a scheduler goroutine drains the queue into the Runner one job at a time,
-// with the Sink interface as the transport boundary — a storeSink persists
-// every completed cell into the durable store and fans progress out to SSE
-// subscribers. Results stream back as JSONL (GET /jobs/{id}/results) in
-// deterministic index order, byte-identical to what a CLI run of the same
-// matrix prints, and all jobs share one content-addressed result cache, so
-// a matrix any job has computed before costs nothing to run again.
+// Package service is the sweep service's HTTP layer: a versioned job API
+// (/v1) over the experiment Runner. POST /v1/jobs accepts a Matrix spec as
+// JSON and queues it; the scheduler admits up to MaxActiveJobs jobs at once,
+// and their Runners share one worker pool that interleaves cells across jobs
+// under deficit round-robin (see scheduler.go) — a 1-cell job submitted
+// behind a 10k-cell sweep finishes in seconds instead of hours. The Sink
+// interface is the transport boundary: a storeSink persists every completed
+// cell into the durable store and fans progress out to SSE subscribers.
+// Results stream back as JSONL (GET /v1/jobs/{id}/results) in deterministic
+// index order, byte-identical to what a CLI run of the same matrix prints —
+// per-scenario derived seeds and index-ordered emission make the
+// interleaving invisible. All jobs share one content-addressed result cache,
+// so a matrix any job has computed before costs nothing to run again.
+//
+// Jobs can be canceled (DELETE /v1/jobs/{id}): a queued job dies instantly,
+// a running one has its context canceled — in-flight cells finish, parked
+// cells degenerate to skips — and lands in the terminal `canceled` state.
+// The unversioned paths from the pre-v1 release remain as deprecated
+// aliases for one release.
 //
 // Crash safety composes from the layers below: the store re-queues jobs
 // that were running when the process died, and the Runner's cache prober
@@ -19,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,35 +46,58 @@ type Config struct {
 	// CacheDir roots the content-addressed result cache every job shares —
 	// the deduplicated corpus. Required.
 	CacheDir string
-	// Workers, TrialWorkers, and Lanes configure each job's Runner exactly
-	// like the CLI flags of the same names (zero selects the defaults).
+	// Workers sizes the shared cell pool all active jobs draw from, and
+	// TrialWorkers and Lanes configure each job's Runner exactly like the
+	// CLI flags of the same names (zero selects the defaults).
 	Workers      int
 	TrialWorkers int
 	Lanes        int
+	// MaxActiveJobs caps how many jobs hold Runners at once. More active
+	// jobs means fairer latency for short jobs but more memory held per
+	// sweep; zero selects 4.
+	MaxActiveJobs int
 }
 
-// maxSpecBytes bounds a POST /jobs body; a matrix spec is a few hundred
+// maxSpecBytes bounds a POST /v1/jobs body; a matrix spec is a few hundred
 // bytes of axis lists, so a megabyte is already generous.
 const maxSpecBytes = 1 << 20
 
-// Server is the sweep service: HTTP handlers plus the scheduler goroutine.
+// defaultMaxActiveJobs is the MaxActiveJobs zero default.
+const defaultMaxActiveJobs = 4
+
+// activeJob is the scheduler's handle on a claimed job: the context its
+// Runner runs under, and whether a client asked for cancellation (which
+// disambiguates context.Canceled from a shutdown drain).
+type activeJob struct {
+	cancel   context.CancelFunc
+	ctx      context.Context
+	canceled bool // guarded by Server.jobMu
+}
+
+// Server is the sweep service: HTTP handlers plus the scheduler.
 // Construct with New, serve Handler, call Start to begin executing jobs,
-// and Close to drain (the in-flight job is canceled and re-queued as
+// and Close to drain (in-flight jobs are canceled and re-queued as
 // resumable — the store must outlive the Close call).
 type Server struct {
 	cfg    Config
 	cache  *cache.Store
 	hub    *hub
 	mux    *http.ServeMux
+	pool   *pool
 	wake   chan struct{}
+	slots  chan struct{}
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	jobMu   sync.Mutex
+	running map[string]*activeJob
 }
 
 // New builds a Server over an open store: jobs left running by a crashed or
-// drained predecessor are re-queued for resume, and everything queued is
-// picked up once Start is called.
+// drained predecessor are re-queued for resume, jobs predating the schema-2
+// key lists get them backfilled (so GC can account for their rows), and
+// everything queued is picked up once Start is called.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("service: nil store")
@@ -74,36 +109,88 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.MaxActiveJobs <= 0 {
+		cfg.MaxActiveJobs = defaultMaxActiveJobs
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		cache:  cacheStore,
-		hub:    newHub(),
-		wake:   make(chan struct{}, 1),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:     cfg,
+		cache:   cacheStore,
+		hub:     newHub(),
+		pool:    newPool(workers),
+		wake:    make(chan struct{}, 1),
+		slots:   make(chan struct{}, cfg.MaxActiveJobs),
+		ctx:     ctx,
+		cancel:  cancel,
+		running: make(map[string]*activeJob),
 	}
-	// Recovery: a job that was Running when the previous process stopped
-	// never reached a terminal state. Its completed cells are in the cache,
-	// so re-queuing it makes the next execution a resume that computes only
-	// the missing cells.
 	for _, job := range cfg.Store.Jobs() {
+		// Recovery: a job that was Running when the previous process stopped
+		// never reached a terminal state. Its completed cells are in the
+		// cache, so re-queuing it makes the next execution a resume that
+		// computes only the missing cells.
 		if job.State == store.Running {
 			if _, err := cfg.Store.UpdateJob(job.ID, true, func(j *store.Job) {
 				j.State = store.Queued
 				j.Error = "resumable: interrupted by restart"
 			}); err != nil {
 				cancel()
+				s.pool.close()
+				return nil, err
+			}
+		}
+		// Backfill: a job created before schema 2 has no recorded row keys,
+		// which blocks GC from sweeping any rows (it cannot know what the
+		// job references). The keys are a pure function of the stored spec,
+		// so recompute them. Best-effort — a spec that no longer expands
+		// just stays unrecorded and GC stays conservative.
+		if _, ok := cfg.Store.JobKeys(job.ID); !ok {
+			var m experiment.Matrix
+			if json.Unmarshal(job.Spec, &m) != nil {
+				continue
+			}
+			scenarios, err := m.Scenarios()
+			if err != nil {
+				continue
+			}
+			keys, err := experiment.ScenarioKeys(scenarios)
+			if err != nil {
+				continue
+			}
+			if err := cfg.Store.SetJobKeys(job.ID, keys); err != nil {
+				cancel()
+				s.pool.close()
 				return nil, err
 			}
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
-	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// The pre-v1 surface: thin aliases kept for one release so existing
+	// scripts keep working. They answer with a Deprecation header pointing
+	// at the v1 successor.
+	legacy := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</v1>; rel="successor-version"`)
+			h(w, r)
+		}
+	}
+	s.mux.HandleFunc("POST /jobs", legacy(s.handleSubmit))
+	s.mux.HandleFunc("GET /jobs/{id}", legacy(s.handleJob))
+	s.mux.HandleFunc("GET /jobs/{id}/results", legacy(s.handleResults))
+	s.mux.HandleFunc("GET /jobs/{id}/events", legacy(s.handleEvents))
+	s.mux.HandleFunc("GET /healthz", legacy(s.handleHealthz))
 	return s, nil
 }
 
@@ -116,13 +203,15 @@ func (s *Server) Start() {
 	go s.runLoop()
 }
 
-// Close drains the service: the in-flight job's Runner context is canceled
+// Close drains the service: every in-flight job's Runner context is canceled
 // (in-flight cells finish, everything not yet dispatched is skipped), the
-// job is re-queued as resumable, and the scheduler exits. The store stays
-// open — closing it is the owner's job, after Close returns.
+// jobs are re-queued as resumable, the scheduler exits, and the shared cell
+// pool shuts down. The store stays open — closing it is the owner's job,
+// after Close returns.
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	s.pool.close()
 }
 
 // notify nudges the scheduler; the buffered channel coalesces bursts.
@@ -133,74 +222,114 @@ func (s *Server) notify() {
 	}
 }
 
-// runLoop is the scheduler: oldest queued job first, one at a time — cells
-// already fan across the Runner's worker pool, so job-level concurrency
-// would only make two sweeps fight over the same cores. Exits when the
-// service context is canceled, or on a store write failure (at which point
-// no progress can be recorded truthfully, so executing more jobs would lie).
+// runLoop is the job-admission half of the scheduler: it claims queued jobs
+// oldest-first into the MaxActiveJobs slots and hands each to a goroutine
+// that drives its Runner. Cell-level interleaving across the admitted jobs
+// is the pool's job (scheduler.go). The slot is acquired BEFORE claiming so
+// a job is never marked Running while it cannot actually start.
 func (s *Server) runLoop() {
 	defer s.wg.Done()
 	for {
-		if s.ctx.Err() != nil {
+		select {
+		case <-s.ctx.Done():
 			return
+		case s.slots <- struct{}{}:
 		}
-		id, ok := s.nextQueued()
-		if !ok {
+		id, ok := s.claimQueued()
+		for !ok {
 			select {
 			case <-s.ctx.Done():
+				<-s.slots
 				return
 			case <-s.wake:
 			}
-			continue
+			id, ok = s.claimQueued()
 		}
-		if err := s.runJob(id); err != nil {
-			return
-		}
+		s.wg.Add(1)
+		go func(id string) {
+			defer s.wg.Done()
+			err := s.runJob(id)
+			<-s.slots
+			if err != nil {
+				// A store write failure means no progress can be recorded
+				// truthfully; executing more jobs would lie. Stop scheduling.
+				s.cancel()
+				return
+			}
+			s.notify()
+		}(id)
 	}
 }
 
-// nextQueued returns the oldest queued job's ID.
-func (s *Server) nextQueued() (string, bool) {
+// claimQueued atomically picks the oldest queued job, marks it Running, and
+// registers its cancelable context. jobMu makes the claim atomic with
+// respect to DELETE: a job is never both canceled-as-queued and claimed.
+func (s *Server) claimQueued() (string, bool) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
 	for _, job := range s.cfg.Store.Jobs() {
-		if job.State == store.Queued {
-			return job.ID, true
+		if job.State != store.Queued {
+			continue
 		}
+		updated, err := s.cfg.Store.UpdateJob(job.ID, true, func(j *store.Job) {
+			j.State = store.Running
+			j.Error = ""
+		})
+		if err != nil {
+			continue
+		}
+		jctx, cancel := context.WithCancel(s.ctx)
+		s.running[job.ID] = &activeJob{ctx: jctx, cancel: cancel}
+		s.publishState(updated)
+		return job.ID, true
 	}
 	return "", false
 }
 
-// runJob executes one job on the Runner. The returned error is a STORE
-// failure — job-level failures (bad spec, sweep error) are recorded on the
-// job itself and do not stop the scheduler.
+// runJob executes one claimed job on the shared pool. The returned error is
+// a STORE failure — job-level failures (bad spec, sweep error, cancellation)
+// are recorded on the job itself and do not stop the scheduler.
 func (s *Server) runJob(id string) error {
-	job, err := s.cfg.Store.UpdateJob(id, true, func(j *store.Job) {
-		j.State = store.Running
-		j.Error = ""
-	})
-	if err != nil {
-		return err
+	s.jobMu.Lock()
+	aj := s.running[id]
+	s.jobMu.Unlock()
+	if aj == nil {
+		return fmt.Errorf("service: job %s not claimed", id)
 	}
-	s.publishState(job)
+	defer aj.cancel()
+	job, ok := s.cfg.Store.Job(id)
+	if !ok {
+		s.unclaim(id)
+		return fmt.Errorf("service: claimed job %s vanished", id)
+	}
 
 	var m experiment.Matrix
 	if err := json.Unmarshal(job.Spec, &m); err != nil {
+		s.unclaim(id)
 		return s.finishJob(id, store.Failed, fmt.Sprintf("decode stored spec: %v", err), nil)
 	}
 	sink := &storeSink{store: s.cfg.Store, hub: s.hub, jobID: id}
+	queue := s.pool.admit(id)
 	opts := []experiment.Option{
 		experiment.WithWorkers(s.cfg.Workers),
 		experiment.WithLanes(s.cfg.Lanes),
 		experiment.WithCache(s.cfg.CacheDir),
-		experiment.WithContext(s.ctx),
+		experiment.WithContext(aj.ctx),
+		experiment.WithExecutor(queue),
 		experiment.WithSinks(sink),
 	}
 	if s.cfg.TrialWorkers > 0 {
 		opts = append(opts, experiment.WithTrialWorkers(s.cfg.TrialWorkers))
 	}
 	_, runErr := experiment.NewRunner(opts...).Run(m)
+	s.pool.release(queue)
+	canceled := s.unclaim(id)
 	switch {
 	case runErr == nil:
 		return s.finishJob(id, store.Done, "", &sink.summary)
+	case canceled && errors.Is(runErr, context.Canceled):
+		return s.finishJob(id, store.Canceled,
+			fmt.Sprintf("canceled by client after %d/%d cells", sink.completed, sink.cells), nil)
 	case s.ctx.Err() != nil && errors.Is(runErr, context.Canceled):
 		// Drain, not failure: back to the queue so the next Start — this
 		// process's or a successor's — resumes from the cache.
@@ -209,6 +338,16 @@ func (s *Server) runJob(id string) error {
 	default:
 		return s.finishJob(id, store.Failed, runErr.Error(), nil)
 	}
+}
+
+// unclaim drops the job's scheduler handle and reports whether a client
+// requested cancellation while it ran.
+func (s *Server) unclaim(id string) bool {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	aj := s.running[id]
+	delete(s.running, id)
+	return aj != nil && aj.canceled
 }
 
 // finishJob records a terminal (or re-queued) state plus the run summary and
@@ -239,13 +378,6 @@ func (s *Server) publishState(job store.Job) {
 	}
 }
 
-// httpError writes a JSON error body.
-func httpError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
-}
-
 // writeJSON writes v as a JSON response.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -254,36 +386,48 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // handleSubmit accepts a Matrix spec, validates it, and queues the job.
-// Validation failures are 400s that name the offending JSON field — the
-// point of Matrix.Validate — and unknown fields are rejected so a typoed
-// axis name cannot silently select a default.
+// Validation failures are invalid_argument envelopes naming the offending
+// JSON field — the point of Matrix.Validate — and unknown fields are
+// rejected so a typoed axis name cannot silently select a default. The
+// job's row keys are recorded at submission, which is what lets GC sweep
+// rows once the last referencing job is pruned.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	var m experiment.Matrix
 	if err := dec.Decode(&m); err != nil {
-		httpError(w, http.StatusBadRequest, "decode matrix spec: "+err.Error())
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, decodeField(err),
+			"decode matrix spec: "+err.Error())
 		return
 	}
 	if err := m.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, specField(err), err.Error())
 		return
 	}
 	// Expansion probes each backend against each size (typos, unreadable
 	// trace files, size conflicts) — still the submitter's fault: 400.
 	scenarios, err := m.Scenarios()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, specField(err), err.Error())
+		return
+	}
+	keys, err := experiment.ScenarioKeys(scenarios)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
 		return
 	}
 	spec, err := json.Marshal(m)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
 		return
 	}
 	job, err := s.cfg.Store.CreateJob(spec, len(scenarios))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
+		return
+	}
+	if err := s.cfg.Store.SetJobKeys(job.ID, keys); err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
 		return
 	}
 	s.notify()
@@ -294,10 +438,111 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.cfg.Store.Job(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, http.StatusNotFound, codeNotFound, "", "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: a queued job is canceled on the
+// spot (200 with the terminal record); a running job has its Runner context
+// canceled and the response is 202 — the record still says running until
+// in-flight cells drain, so clients poll or watch /events for the terminal
+// state. Canceling an already-canceled job is idempotent; canceling a done
+// or failed job is a conflict.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	job, ok := s.cfg.Store.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "", "no such job")
+		return
+	}
+	switch job.State {
+	case store.Queued:
+		updated, err := s.cfg.Store.UpdateJob(id, true, func(j *store.Job) {
+			j.State = store.Canceled
+			j.Error = "canceled by client before start"
+		})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
+			return
+		}
+		s.publishState(updated)
+		writeJSON(w, http.StatusOK, updated)
+	case store.Running:
+		if aj, ok := s.running[id]; ok {
+			aj.canceled = true
+			aj.cancel()
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	case store.Canceled:
+		writeJSON(w, http.StatusOK, job)
+	default:
+		httpError(w, http.StatusConflict, codeConflict, "",
+			fmt.Sprintf("job %s already %s", id, job.State))
+	}
+}
+
+// listLimitDefault and listLimitMax bound GET /v1/jobs pages.
+const (
+	listLimitDefault = 100
+	listLimitMax     = 1000
+)
+
+// jobPage is the GET /v1/jobs body: one page of jobs in ID (creation)
+// order. nextAfter is present exactly when the page was truncated — pass it
+// back as ?after= to continue.
+type jobPage struct {
+	Jobs      []store.Job `json:"jobs"`
+	NextAfter string      `json:"nextAfter,omitempty"`
+}
+
+// handleList is GET /v1/jobs?state=...&limit=...&after=...: the job list
+// filtered by state, paginated by ID.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter store.State
+	if v := q.Get("state"); v != "" {
+		filter = store.State(v)
+		switch filter {
+		case store.Queued, store.Running, store.Done, store.Failed, store.Canceled:
+		default:
+			httpError(w, http.StatusBadRequest, codeInvalidArgument, "state",
+				fmt.Sprintf("unknown state %q", v))
+			return
+		}
+	}
+	limit := listLimitDefault
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, codeInvalidArgument, "limit",
+				fmt.Sprintf("limit %q: need a positive integer", v))
+			return
+		}
+		if n > listLimitMax {
+			n = listLimitMax
+		}
+		limit = n
+	}
+	after := q.Get("after")
+	page := jobPage{Jobs: []store.Job{}}
+	for _, job := range s.cfg.Store.Jobs() { // sorted by ID = creation order
+		if after != "" && job.ID <= after {
+			continue
+		}
+		if filter != "" && job.State != filter {
+			continue
+		}
+		if len(page.Jobs) == limit {
+			page.NextAfter = page.Jobs[limit-1].ID
+			break
+		}
+		page.Jobs = append(page.Jobs, job)
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 // handleResults streams the job's results as JSONL in index order: for each
@@ -307,22 +552,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.cfg.Store.Job(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, http.StatusNotFound, codeNotFound, "", "no such job")
 		return
 	}
 	var m experiment.Matrix
 	if err := json.Unmarshal(job.Spec, &m); err != nil {
-		httpError(w, http.StatusInternalServerError, "stored spec: "+err.Error())
+		httpError(w, http.StatusInternalServerError, codeInternal, "", "stored spec: "+err.Error())
 		return
 	}
 	scenarios, err := m.Scenarios()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
 		return
 	}
 	keys, err := experiment.ScenarioKeys(scenarios)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -348,17 +593,18 @@ const eventsPollInterval = time.Second
 
 // handleEvents streams a job's lifecycle as server-sent events: an initial
 // "state" snapshot, "progress" per completed cell, and a final "state" when
-// the job reaches a terminal state (which also ends the stream).
+// the job reaches a terminal state — done, failed, or canceled — which also
+// ends the stream.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.cfg.Store.Job(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, http.StatusNotFound, codeNotFound, "", "no such job")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		httpError(w, http.StatusInternalServerError, codeInternal, "", "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -369,9 +615,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
 		flusher.Flush()
 	}
-	terminal := func(j store.Job) bool {
-		return j.State == store.Done || j.State == store.Failed
-	}
 
 	// Subscribe BEFORE the initial snapshot: anything published after the
 	// snapshot is either in the queue or reflected by the poll.
@@ -380,7 +623,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if data, err := json.Marshal(job); err == nil {
 		writeEvent(event{name: "state", data: data})
 	}
-	if terminal(job) {
+	if job.State.Terminal() {
 		return
 	}
 	ticker := time.NewTicker(eventsPollInterval)
@@ -392,7 +635,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case ev := <-sub.ch:
 			writeEvent(ev)
 			if ev.name == "state" {
-				if j, ok := s.cfg.Store.Job(id); ok && terminal(j) {
+				if j, ok := s.cfg.Store.Job(id); ok && j.State.Terminal() {
 					return
 				}
 			}
@@ -403,7 +646,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			if terminal(j) {
+			if j.State.Terminal() {
 				if data, err := json.Marshal(j); err == nil {
 					writeEvent(event{name: "state", data: data})
 				}
@@ -413,7 +656,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthz is the GET /healthz body.
+// healthz is the GET /v1/healthz body.
 type healthz struct {
 	Status    string              `json:"status"`
 	Cache     cache.Stats         `json:"cache"`
@@ -425,7 +668,7 @@ type healthz struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	stats, err := s.cache.Stats()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusInternalServerError, codeInternal, "", err.Error())
 		return
 	}
 	h := healthz{Status: "ok", Cache: stats, Jobs: make(map[store.State]int), StoreRows: s.cfg.Store.RowCount()}

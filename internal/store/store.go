@@ -1,8 +1,11 @@
 // Package store is the sweep service's durable job/result store: every job
-// the HTTP API accepts, its position in the queued → running → done/failed
-// state machine, its per-cell progress, and one result row per completed
-// cell — keyed by the cell's content-addressed cache key, so identical cells
-// from different jobs share one row.
+// the HTTP API accepts, its position in the queued → running →
+// done/failed/canceled state machine, its per-cell progress, and one result
+// row per completed cell — keyed by the cell's content-addressed cache key,
+// so identical cells from different jobs share one row. A RetentionPolicy
+// garbage-collects at checkpoint time: terminal jobs beyond the policy are
+// pruned and rows no surviving job references are swept (shared rows
+// survive until the last referencing job goes).
 //
 // Durability is stdlib-only — no cgo, no SQLite: an append-only write-ahead
 // log of JSON records plus a periodic snapshot, both in one directory. Every
@@ -30,18 +33,43 @@ import (
 	"time"
 )
 
-// State is a job's position in the lifecycle state machine. The only legal
-// transitions are Queued → Running → (Done | Failed), plus Running → Queued
-// when a drain or crash makes an in-flight job resumable.
+// State is a job's position in the lifecycle state machine. The legal
+// transitions are Queued → Running → (Done | Failed | Canceled), plus
+// Queued → Canceled for a job canceled before it starts and Running →
+// Queued when a drain or crash makes an in-flight job resumable. UpdateJob
+// enforces these; a same-state update (progress counters) is always legal.
 type State string
 
 // Job lifecycle states.
 const (
-	Queued  State = "queued"
-	Running State = "running"
-	Done    State = "done"
-	Failed  State = "failed"
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
 )
+
+// Terminal reports whether st is a terminal state: the job will never run
+// again, which is what makes it eligible for retention-policy pruning.
+func (st State) Terminal() bool {
+	return st == Done || st == Failed || st == Canceled
+}
+
+// validTransition is the state machine: from == to is always legal (counter
+// updates ride on the current state), everything else is enumerated.
+func validTransition(from, to State) bool {
+	if from == to {
+		return true
+	}
+	switch from {
+	case Queued:
+		return to == Running || to == Canceled
+	case Running:
+		return to == Done || to == Failed || to == Canceled || to == Queued
+	default: // terminal states never leave
+		return false
+	}
+}
 
 // Job is one accepted sweep: the matrix spec as submitted, where it is in
 // the state machine, and its progress/summary counters. The JSON encoding is
@@ -77,19 +105,26 @@ type Job struct {
 
 // SchemaVersion stamps every snapshot this code writes. Bump it when the
 // snapshot layout changes, and register the upgrade in migrations.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // snapshot is the on-disk checkpoint: full store state at one WAL horizon.
 type snapshot struct {
 	Schema int                        `json:"schema"`
 	Jobs   []Job                      `json:"jobs"`
 	Rows   map[string]json.RawMessage `json:"rows"`
+	// JobKeys maps a job ID to the content-addressed row keys its cells
+	// emit, in index order — the reference edges garbage collection marks
+	// from (schema 2).
+	JobKeys map[string][]string `json:"jobKeys,omitempty"`
 }
 
 // migrations upgrades a decoded snapshot one schema step at a time: the
 // function at key v takes a valid schema-v snapshot to schema v+1. Schema 0
 // is the legacy jobs-only layout from before result rows existed (no schema
-// stamp, no rows map).
+// stamp, no rows map). Schema 1 predates per-job row keys; a migrated job
+// has no key list, which GC treats as "references unknown" and refuses to
+// sweep rows around (the service backfills keys from the stored spec at
+// startup, after which sweeping resumes).
 var migrations = map[int]func(*snapshot){
 	0: func(s *snapshot) {
 		if s.Rows == nil {
@@ -97,21 +132,46 @@ var migrations = map[int]func(*snapshot){
 		}
 		s.Schema = 1
 	},
+	1: func(s *snapshot) {
+		if s.JobKeys == nil {
+			s.JobKeys = map[string][]string{}
+		}
+		s.Schema = 2
+	},
 }
 
 // record is one WAL entry. Op "job" upserts a full job record (idempotent,
 // last writer wins — replay order is append order); op "row" upserts one
-// result row.
+// result row; op "keys" records a job's row-key list (ID + Keys fields) —
+// the durable form of SetJobKeys, and the record a cancel rides on is a
+// plain op "job" carrying the canceled state.
 type record struct {
-	Op  string          `json:"op"`
-	Job *Job            `json:"job,omitempty"`
-	Key string          `json:"key,omitempty"`
-	Row json.RawMessage `json:"row,omitempty"`
+	Op   string          `json:"op"`
+	Job  *Job            `json:"job,omitempty"`
+	Key  string          `json:"key,omitempty"`
+	Row  json.RawMessage `json:"row,omitempty"`
+	ID   string          `json:"id,omitempty"`
+	Keys []string        `json:"keys,omitempty"`
 }
 
 // defaultSnapshotEvery is how many WAL records accumulate before the store
 // checkpoints into a fresh snapshot and truncates the log.
 const defaultSnapshotEvery = 512
+
+// RetentionPolicy bounds how much terminal-job history the store keeps.
+// The zero policy retains everything (the pre-GC behavior). Non-terminal
+// jobs are never pruned regardless of policy.
+type RetentionPolicy struct {
+	// MaxJobs, when > 0, keeps at most this many terminal jobs — the most
+	// recently updated survive, older ones are pruned.
+	MaxJobs int
+	// MaxAge, when > 0, prunes terminal jobs whose last update is older
+	// than this.
+	MaxAge time.Duration
+}
+
+// active reports whether the policy prunes anything at all.
+func (p RetentionPolicy) active() bool { return p.MaxJobs > 0 || p.MaxAge > 0 }
 
 // Store is the open store. All methods are safe for concurrent use.
 type Store struct {
@@ -119,12 +179,19 @@ type Store struct {
 	// tests (and unusual deployments) can tune checkpoint frequency; change
 	// it before concurrent use begins.
 	SnapshotEvery int
+	// Retention is applied at every checkpoint: terminal jobs beyond the
+	// policy are pruned, and rows no surviving job references are swept
+	// (rows shared by content address across jobs survive until the last
+	// referencing job is pruned). Change it before concurrent use begins;
+	// the zero policy disables GC.
+	Retention RetentionPolicy
 
 	mu         sync.Mutex
 	dir        string
 	wal        *os.File
 	jobs       map[string]Job
 	rows       map[string]json.RawMessage
+	jobKeys    map[string][]string
 	walRecords int
 	seq        int
 	closed     bool
@@ -148,6 +215,7 @@ func Open(dir string) (*Store, error) {
 		dir:           dir,
 		jobs:          make(map[string]Job),
 		rows:          make(map[string]json.RawMessage),
+		jobKeys:       make(map[string][]string),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
@@ -198,6 +266,9 @@ func (s *Store) loadSnapshot() error {
 	}
 	for k, v := range snap.Rows {
 		s.rows[k] = v
+	}
+	for id, keys := range snap.JobKeys {
+		s.jobKeys[id] = keys
 	}
 	return nil
 }
@@ -251,6 +322,10 @@ func (s *Store) apply(rec record) {
 		if rec.Key != "" {
 			s.rows[rec.Key] = rec.Row
 		}
+	case "keys":
+		if rec.ID != "" {
+			s.jobKeys[rec.ID] = rec.Keys
+		}
 	}
 }
 
@@ -279,6 +354,7 @@ func (s *Store) append(rec record, sync bool) error {
 	s.apply(rec)
 	s.walRecords++
 	if s.walRecords >= s.SnapshotEvery {
+		s.gc()
 		if err := s.checkpoint(); err != nil {
 			return err
 		}
@@ -286,11 +362,98 @@ func (s *Store) append(rec record, sync bool) error {
 	return nil
 }
 
+// gc applies the retention policy: prune terminal jobs beyond the policy,
+// then sweep rows no surviving job references. Caller holds s.mu. The
+// deletions live only in memory — durability comes from the checkpoint the
+// caller writes immediately after (a crash in between resurrects the pruned
+// state from the old snapshot+WAL, and the next GC prunes it again).
+//
+// Sweeping is mark-and-sweep over the jobKeys reference lists, which is
+// where the refcount semantics come from: a row shared by several jobs
+// stays marked until the last job referencing it is pruned. If any
+// surviving job has NO recorded key list (a schema-1 job the service has
+// not backfilled yet), its references are unknown, so row sweeping is
+// skipped entirely rather than risk deleting a row a live job still needs.
+func (s *Store) gc() (jobsPruned, rowsSwept int) {
+	if !s.Retention.active() {
+		return 0, 0
+	}
+	var terminal []Job
+	for _, j := range s.jobs {
+		if j.State.Terminal() {
+			terminal = append(terminal, j)
+		}
+	}
+	// Oldest first: by last update, then by ID for a stable order when
+	// timestamps tie (they are whole seconds).
+	sort.Slice(terminal, func(i, k int) bool {
+		if terminal[i].Updated != terminal[k].Updated {
+			return terminal[i].Updated < terminal[k].Updated
+		}
+		return terminal[i].ID < terminal[k].ID
+	})
+	keep := len(terminal)
+	if s.Retention.MaxJobs > 0 && keep > s.Retention.MaxJobs {
+		keep = s.Retention.MaxJobs
+	}
+	cutoff := int64(0)
+	if s.Retention.MaxAge > 0 {
+		cutoff = time.Now().Add(-s.Retention.MaxAge).Unix()
+	}
+	for i, j := range terminal {
+		tooMany := i < len(terminal)-keep
+		tooOld := cutoff > 0 && j.Updated < cutoff
+		if tooMany || tooOld {
+			delete(s.jobs, j.ID)
+			delete(s.jobKeys, j.ID)
+			jobsPruned++
+		}
+	}
+	if jobsPruned == 0 {
+		return 0, 0
+	}
+	live := make(map[string]struct{})
+	for id := range s.jobs {
+		keys, known := s.jobKeys[id]
+		if !known {
+			return jobsPruned, 0 // unknown references: never sweep around them
+		}
+		for _, k := range keys {
+			live[k] = struct{}{}
+		}
+	}
+	for k := range s.rows {
+		if _, ok := live[k]; !ok {
+			delete(s.rows, k)
+			rowsSwept++
+		}
+	}
+	return jobsPruned, rowsSwept
+}
+
+// GC applies the retention policy immediately and checkpoints the pruned
+// state, reporting how many jobs were pruned and rows swept. Deployments
+// that never hit the WAL threshold (or want deterministic cleanup at
+// startup) call this; steady-state pruning happens at every checkpoint
+// anyway.
+func (s *Store) GC() (jobsPruned, rowsSwept int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("store: closed")
+	}
+	jobsPruned, rowsSwept = s.gc()
+	if err := s.checkpoint(); err != nil {
+		return jobsPruned, rowsSwept, err
+	}
+	return jobsPruned, rowsSwept, nil
+}
+
 // checkpoint writes the full state as a fresh snapshot (atomic tmp+rename)
 // and truncates the WAL. A crash between the rename and the truncate is
 // safe: replaying the old records onto the new snapshot is idempotent.
 func (s *Store) checkpoint() error {
-	snap := snapshot{Schema: SchemaVersion, Jobs: s.jobList(), Rows: s.rows}
+	snap := snapshot{Schema: SchemaVersion, Jobs: s.jobList(), Rows: s.rows, JobKeys: s.jobKeys}
 	raw, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: encode snapshot: %w", err)
@@ -341,6 +504,7 @@ func (s *Store) Close() error {
 	if s.closed {
 		return nil
 	}
+	s.gc()
 	err := s.checkpoint()
 	s.closed = true
 	if cerr := s.wal.Close(); err == nil {
@@ -372,7 +536,9 @@ func (s *Store) CreateJob(spec json.RawMessage, cells int) (Job, error) {
 
 // UpdateJob applies mutate to the job and durably records the result when
 // sync is true (state transitions); progress counters pass sync false and
-// are flushed by the next synced append.
+// are flushed by the next synced append. A mutate that attempts an illegal
+// state transition (see validTransition) is rejected without writing
+// anything — terminal states, including Canceled, are final.
 func (s *Store) UpdateJob(id string, sync bool, mutate func(*Job)) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -380,13 +546,39 @@ func (s *Store) UpdateJob(id string, sync bool, mutate func(*Job)) (Job, error) 
 	if !ok {
 		return Job{}, fmt.Errorf("store: no job %q", id)
 	}
+	from := job.State
 	mutate(&job)
 	job.ID = id // the identity is not the caller's to change
+	if !validTransition(from, job.State) {
+		return Job{}, fmt.Errorf("store: job %s: illegal transition %s → %s", id, from, job.State)
+	}
 	job.Updated = time.Now().Unix()
 	if err := s.append(record{Op: "job", Job: &job}, sync); err != nil {
 		return Job{}, err
 	}
 	return job, nil
+}
+
+// SetJobKeys durably records the content-addressed row keys job id's cells
+// emit, in index order. The service writes this once at submission; GC
+// marks live rows from these lists, so a job with recorded keys keeps its
+// rows alive (shared or not) until the job itself is pruned.
+func (s *Store) SetJobKeys(id string, keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return fmt.Errorf("store: no job %q", id)
+	}
+	return s.append(record{Op: "keys", ID: id, Keys: keys}, false)
+}
+
+// JobKeys returns the recorded row-key list for job id, and whether one was
+// ever recorded (schema-1 jobs have none until backfilled).
+func (s *Store) JobKeys(id string) ([]string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys, ok := s.jobKeys[id]
+	return keys, ok
 }
 
 // Job returns the job by ID.

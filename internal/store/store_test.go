@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func openT(t *testing.T, dir string) *Store {
@@ -53,6 +54,67 @@ func TestUpdateJobAndStateMachine(t *testing.T) {
 	}
 	if _, err := s.UpdateJob("j424242", true, func(*Job) {}); err == nil {
 		t.Error("update of missing job accepted")
+	}
+}
+
+// TestStateMachineRejectsIllegalTransitions: terminal states are final and
+// a queued job cannot jump straight to done.
+func TestStateMachineRejectsIllegalTransitions(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	set := func(id string, st State) error {
+		_, err := s.UpdateJob(id, true, func(j *Job) { j.State = st })
+		return err
+	}
+	job, _ := s.CreateJob(json.RawMessage(`{}`), 1)
+	if err := set(job.ID, Done); err == nil {
+		t.Error("queued → done accepted")
+	}
+	if err := set(job.ID, Canceled); err != nil {
+		t.Fatalf("queued → canceled: %v", err)
+	}
+	for _, to := range []State{Running, Queued, Done, Failed} {
+		if err := set(job.ID, to); err == nil {
+			t.Errorf("canceled → %s accepted", to)
+		}
+	}
+	// Counter updates on a terminal job stay legal (same-state update).
+	if _, err := s.UpdateJob(job.ID, false, func(j *Job) { j.Completed = 1 }); err != nil {
+		t.Errorf("same-state update rejected: %v", err)
+	}
+	run, _ := s.CreateJob(json.RawMessage(`{}`), 1)
+	if err := set(run.ID, Running); err != nil {
+		t.Fatal(err)
+	}
+	if err := set(run.ID, Queued); err != nil {
+		t.Errorf("running → queued (drain/resume) rejected: %v", err)
+	}
+}
+
+// TestWALReplayCancelRecord: a cancel is durable through the raw WAL, with
+// no snapshot involved — the signature of a daemon killed right after
+// acknowledging a DELETE.
+func TestWALReplayCancelRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	job, _ := s.CreateJob(json.RawMessage(`{}`), 3)
+	if _, err := s.UpdateJob(job.ID, true, func(j *Job) {
+		j.State = Canceled
+		j.Error = "canceled by client"
+	}); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	s.wal.Close() // crash-style: no checkpoint, replay must come from the WAL
+
+	r := openT(t, dir)
+	defer r.Close()
+	got, ok := r.Job(job.ID)
+	if !ok || got.State != Canceled || got.Error != "canceled by client" {
+		t.Fatalf("replayed cancel: ok=%v %+v", ok, got)
+	}
+	// Terminality survives replay too.
+	if _, err := r.UpdateJob(job.ID, true, func(j *Job) { j.State = Running }); err == nil {
+		t.Error("replayed canceled job accepted a restart")
 	}
 }
 
@@ -231,5 +293,230 @@ func TestFutureSchemaRefused(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Error("empty dir accepted")
+	}
+}
+
+// TestSchemaOneMigrationRoundTrip: a v1 snapshot (jobs + rows, no jobKeys)
+// opens, serves, and is rewritten at the current schema; the migrated jobs
+// have no key lists until someone backfills them.
+func TestSchemaOneMigrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	v1 := `{"schema":1,"jobs":[{"id":"j000003","state":"done","cells":2,"completed":2}],` +
+		`"rows":{"k1":{"v":1},"k2":{"v":2}}}`
+	os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte(v1), 0o644)
+	s := openT(t, dir)
+	job, ok := s.Job("j000003")
+	if !ok || job.State != Done {
+		t.Fatalf("migrated job: ok=%v %+v", ok, job)
+	}
+	if n := s.RowCount(); n != 2 {
+		t.Fatalf("migrated rows: %d, want 2", n)
+	}
+	if _, ok := s.JobKeys("j000003"); ok {
+		t.Fatal("migration invented a key list")
+	}
+	if err := s.SetJobKeys("j000003", []string{"k1", "k2"}); err != nil {
+		t.Fatalf("backfill: %v", err)
+	}
+	s.Close()
+
+	raw, _ := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	var snap struct {
+		Schema  int                 `json:"schema"`
+		JobKeys map[string][]string `json:"jobKeys"`
+	}
+	json.Unmarshal(raw, &snap)
+	if snap.Schema != SchemaVersion {
+		t.Fatalf("rewritten snapshot schema %d, want %d", snap.Schema, SchemaVersion)
+	}
+	if got := snap.JobKeys["j000003"]; len(got) != 2 {
+		t.Fatalf("backfilled keys not in snapshot: %v", snap.JobKeys)
+	}
+	r := openT(t, dir)
+	defer r.Close()
+	if keys, ok := r.JobKeys("j000003"); !ok || len(keys) != 2 {
+		t.Fatalf("keys after round-trip: ok=%v %v", ok, keys)
+	}
+}
+
+// gcFixture builds a store holding three terminal jobs with overlapping row
+// references:
+//
+//	j1 (done):   rows A, S
+//	j2 (done):   rows B, S   (S shared with j1)
+//	j3 (failed): row  C
+//
+// plus rows for every key. IDs are created in order, so j1 is oldest.
+func gcFixture(t *testing.T, dir string) (*Store, []Job) {
+	t.Helper()
+	s := openT(t, dir)
+	keysOf := [][]string{{"A", "S"}, {"B", "S"}, {"C"}}
+	states := []State{Done, Done, Failed}
+	jobs := make([]Job, 3)
+	for i := range keysOf {
+		job, err := s.CreateJob(json.RawMessage(`{}`), len(keysOf[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetJobKeys(job.ID, keysOf[i]); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keysOf[i] {
+			if err := s.PutRow(k, []byte(`{"row":"`+k+`"}`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.UpdateJob(job.ID, true, func(j *Job) { j.State = Running }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.UpdateJob(job.ID, true, func(j *Job) { j.State = states[i] }); err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job
+	}
+	return s, jobs
+}
+
+// TestGCRetainJobsSweepsUnreferencedRows: MaxJobs 2 prunes only the oldest
+// terminal job; its exclusive row goes, the row it shared with a surviving
+// job stays (refcount-by-mark semantics).
+func TestGCRetainJobsSweepsUnreferencedRows(t *testing.T) {
+	s, jobs := gcFixture(t, t.TempDir())
+	defer s.Close()
+	s.Retention = RetentionPolicy{MaxJobs: 2}
+	pruned, swept, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 1 || swept != 1 {
+		t.Fatalf("pruned %d jobs / swept %d rows, want 1/1", pruned, swept)
+	}
+	if _, ok := s.Job(jobs[0].ID); ok {
+		t.Error("oldest terminal job survived MaxJobs 2")
+	}
+	if _, ok := s.Row("A"); ok {
+		t.Error("pruned job's exclusive row A survived")
+	}
+	if _, ok := s.Row("S"); !ok {
+		t.Error("row S shared with a surviving job was swept")
+	}
+	// Pruning the second sharer releases the last reference to S.
+	s.Retention = RetentionPolicy{MaxJobs: 1}
+	if _, _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Row("S"); ok {
+		t.Error("row S survived the last referencing job")
+	}
+	if _, ok := s.Row("C"); !ok {
+		t.Error("retained job's row C was swept")
+	}
+}
+
+// TestGCPrunesOnlyTerminalJobs: queued and running jobs are untouchable no
+// matter how aggressive the policy, and their rows stay marked.
+func TestGCPrunesOnlyTerminalJobs(t *testing.T) {
+	s, _ := gcFixture(t, t.TempDir())
+	defer s.Close()
+	queued, _ := s.CreateJob(json.RawMessage(`{}`), 1)
+	s.SetJobKeys(queued.ID, []string{"Q"})
+	s.PutRow("Q", []byte(`{}`))
+	running, _ := s.CreateJob(json.RawMessage(`{}`), 1)
+	s.SetJobKeys(running.ID, []string{"R"})
+	s.PutRow("R", []byte(`{}`))
+	s.UpdateJob(running.ID, true, func(j *Job) { j.State = Running })
+
+	s.Retention = RetentionPolicy{MaxJobs: 1, MaxAge: time.Nanosecond}
+	time.Sleep(1100 * time.Millisecond) // Updated has 1s granularity; age everything out
+	pruned, _, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 3 {
+		t.Fatalf("pruned %d, want exactly the 3 terminal jobs", pruned)
+	}
+	for _, id := range []string{queued.ID, running.ID} {
+		if _, ok := s.Job(id); !ok {
+			t.Errorf("non-terminal job %s pruned", id)
+		}
+	}
+	for _, k := range []string{"Q", "R"} {
+		if _, ok := s.Row(k); !ok {
+			t.Errorf("live job's row %s swept", k)
+		}
+	}
+}
+
+// TestGCConservativeWithoutJobKeys: if any surviving job has no recorded
+// key list, GC prunes jobs but refuses to sweep rows (it cannot know what
+// that job references). Backfilling the keys re-enables sweeping.
+func TestGCConservativeWithoutJobKeys(t *testing.T) {
+	s, _ := gcFixture(t, t.TempDir())
+	defer s.Close()
+	// A legacy-style job: terminal, no key list, must be retained.
+	legacy, _ := s.CreateJob(json.RawMessage(`{}`), 1)
+	s.UpdateJob(legacy.ID, true, func(j *Job) { j.State = Running })
+	s.UpdateJob(legacy.ID, true, func(j *Job) { j.State = Done })
+
+	s.Retention = RetentionPolicy{MaxJobs: 2} // keeps legacy (newest) + j3
+	pruned, swept, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 2 || swept != 0 {
+		t.Fatalf("pruned %d / swept %d, want 2 pruned and 0 swept (legacy job blocks sweeping)", pruned, swept)
+	}
+	if _, ok := s.Row("A"); !ok {
+		t.Fatal("row swept while a surviving job's references were unknown")
+	}
+	if err := s.SetJobKeys(legacy.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sweeping only runs when a prune happens; tighten the policy so the
+	// next GC prunes j3 and, with every surviving job's keys now known,
+	// sweeps the orphans left behind by the conservative pass.
+	s.Retention = RetentionPolicy{MaxJobs: 1}
+	if _, swept, err = s.GC(); err != nil || swept == 0 {
+		t.Fatalf("swept %d rows after backfill (err %v), want > 0", swept, err)
+	}
+}
+
+// TestGCDisabledByZeroPolicy: the zero policy is the pre-GC behavior.
+func TestGCDisabledByZeroPolicy(t *testing.T) {
+	s, _ := gcFixture(t, t.TempDir())
+	defer s.Close()
+	pruned, swept, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 0 || swept != 0 {
+		t.Fatalf("zero policy pruned %d / swept %d", pruned, swept)
+	}
+	if len(s.Jobs()) != 3 || s.RowCount() != 4 {
+		t.Fatalf("zero policy changed state: %d jobs, %d rows", len(s.Jobs()), s.RowCount())
+	}
+}
+
+// TestGCSurvivesReopen: a pruned store reopens to exactly the pruned state
+// (the GC'd snapshot is the durable truth).
+func TestGCSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, jobs := gcFixture(t, dir)
+	s.Retention = RetentionPolicy{MaxJobs: 1}
+	if _, _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openT(t, dir)
+	defer r.Close()
+	if got := len(r.Jobs()); got != 1 {
+		t.Fatalf("reopened with %d jobs, want 1", got)
+	}
+	if _, ok := r.Job(jobs[2].ID); !ok {
+		t.Fatal("newest terminal job lost")
+	}
+	if n := r.RowCount(); n != 1 {
+		t.Fatalf("reopened with %d rows, want 1 (C)", n)
 	}
 }
