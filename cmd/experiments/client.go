@@ -66,12 +66,14 @@ func submitJob(ctx context.Context, base string, m experiment.Matrix) (store.Job
 	if err != nil {
 		return job, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(spec))
-	if err != nil {
-		return job, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := transientRetry.do(ctx, http.DefaultClient, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(spec))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return job, fmt.Errorf("submit to %s: %w", base, err)
 	}
@@ -88,11 +90,9 @@ func submitJob(ctx context.Context, base string, m experiment.Matrix) (store.Job
 // getJob reads one job record.
 func getJob(ctx context.Context, base, id string) (store.Job, error) {
 	var job store.Job
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return job, err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := transientRetry.do(ctx, http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	})
 	if err != nil {
 		return job, err
 	}
@@ -164,11 +164,9 @@ func waitForJob(ctx context.Context, base, id string, progress bool) (store.Job,
 // streams exactly the bytes a local `-out jsonl` run prints; table and CSV
 // decode each row and drive the ordinary sinks.
 func streamResults(ctx context.Context, base string, job store.Job, mf matrixFlags, m experiment.Matrix) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+job.ID+"/results", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := transientRetry.do(ctx, http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+job.ID+"/results", nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -223,11 +221,9 @@ func streamResults(ctx context.Context, base string, job store.Job, mf matrixFla
 // on the spot, 202 means a running job is draining toward canceled.
 func cancelJob(ctx context.Context, base, id string) (store.Job, bool, error) {
 	var job store.Job
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return job, false, err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := transientRetry.do(ctx, http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	})
 	if err != nil {
 		return job, false, err
 	}
@@ -265,11 +261,9 @@ func listJobs(ctx context.Context, base, state string, limit int, after string) 
 		q.Set("after", after)
 	}
 	u.RawQuery = q.Encode()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
-	if err != nil {
-		return page, err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := transientRetry.do(ctx, http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	})
 	if err != nil {
 		return page, err
 	}

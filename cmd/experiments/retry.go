@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// Transient failures — a connection refused while sweepd restarts, a reset
+// mid-response, a 5xx from an overloaded proxy — should not kill a sweep
+// run that would succeed a second later. Every -server HTTP call goes
+// through retryPolicy.do, which retries exactly those failures with
+// bounded exponential backoff and jitter. Deliberate server answers (4xx)
+// and caller cancellation pass through untouched: a 400 will not improve
+// with repetition, and ^C means stop, not try harder.
+
+// retryPolicy bounds and paces the retries. The function fields exist so
+// tests can pin the jitter and skip the sleeps; zero-value fields fall
+// back to the real implementations.
+type retryPolicy struct {
+	attempts int           // total tries, including the first
+	base     time.Duration // backoff before the first retry; doubles per retry
+	max      time.Duration // backoff cap
+	jitter   func(time.Duration) time.Duration
+	sleep    func(context.Context, time.Duration) error
+	notify   func(err error, delay time.Duration) // observes each retry decision
+}
+
+// transientRetry is the policy all client calls share: 4 tries over ~1.5s
+// of backoff (200ms, 400ms, 800ms, each halved-to-full by jitter) — long
+// enough to ride out a sweepd restart, short enough that a genuinely dead
+// server fails the command promptly.
+var transientRetry = retryPolicy{
+	attempts: 4,
+	base:     200 * time.Millisecond,
+	max:      2 * time.Second,
+}
+
+// halfJitter spreads a delay uniformly over [d/2, d] so clients that
+// failed together do not retry together.
+func halfJitter(d time.Duration) time.Duration {
+	return d/2 + rand.N(d/2+1)
+}
+
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do issues the request until it gets a non-retryable answer or the
+// attempt budget runs out. build constructs a fresh request per attempt —
+// a body reader is consumed by the attempt that fails, so it cannot be
+// reused. The terminal attempt's outcome is returned verbatim: a 5xx
+// response flows to the caller's apiError path, a transport error to its
+// %w wrap.
+func (p retryPolicy) do(ctx context.Context, client *http.Client, build func() (*http.Request, error)) (*http.Response, error) {
+	delay := p.base
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err == nil && resp.StatusCode < 500 {
+			return resp, nil
+		}
+		if attempt >= p.attempts || ctx.Err() != nil {
+			return resp, err
+		}
+		if resp != nil {
+			// Drain so the connection can be reused for the retry.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		d := delay
+		if j := p.jitter; j != nil {
+			d = j(d)
+		} else {
+			d = halfJitter(d)
+		}
+		if p.notify != nil {
+			p.notify(err, d)
+		}
+		sleep := p.sleep
+		if sleep == nil {
+			sleep = ctxSleep
+		}
+		if err := sleep(ctx, d); err != nil {
+			return nil, err
+		}
+		if delay *= 2; delay > p.max {
+			delay = p.max
+		}
+	}
+}

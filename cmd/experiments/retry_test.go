@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iotmpc/internal/experiment"
+)
+
+// instant is a test policy that keeps the real decision logic but spends
+// no wall-clock time: identity jitter, no-op sleep, and a delay recorder.
+func instant(attempts int) (*retryPolicy, *[]time.Duration) {
+	delays := &[]time.Duration{}
+	p := &retryPolicy{
+		attempts: attempts,
+		base:     200 * time.Millisecond,
+		max:      2 * time.Second,
+		jitter:   func(d time.Duration) time.Duration { return d },
+		sleep:    func(context.Context, time.Duration) error { return nil },
+		notify:   func(_ error, d time.Duration) { *delays = append(*delays, d) },
+	}
+	return p, delays
+}
+
+func get(t *testing.T, p *retryPolicy, url string) (*http.Response, error) {
+	t.Helper()
+	return p.do(context.Background(), http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
+}
+
+// TestRetryRecoversFrom5xx: a server that 503s twice before answering is a
+// blip, not a failure — the third try lands.
+func TestRetryRecoversFrom5xx(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "catching my breath", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	p, delays := instant(4)
+	resp, err := get(t, p, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	// Backoff doubled between the two retries.
+	if want := []time.Duration{200 * time.Millisecond, 400 * time.Millisecond}; len(*delays) != 2 || (*delays)[0] != want[0] || (*delays)[1] != want[1] {
+		t.Fatalf("delays %v, want %v", *delays, want)
+	}
+}
+
+// TestRetryRecoversFromConnectionReset: the server slams the TCP
+// connection shut on the first two requests — a transport-level error, the
+// connection-refused/reset class — and the client rides it out.
+func TestRetryRecoversFromConnectionReset(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	p, _ := instant(4)
+	resp, err := get(t, p, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hits.Load() != 3 {
+		t.Fatalf("status %d after %d requests, want 200 after 3", resp.StatusCode, hits.Load())
+	}
+}
+
+// TestRetryPassesThrough4xx: a deliberate server answer is not transient —
+// one request, straight back to the caller.
+func TestRetryPassesThrough4xx(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no such job", http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	p, _ := instant(4)
+	resp, err := get(t, p, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || hits.Load() != 1 {
+		t.Fatalf("status %d after %d requests, want one un-retried 404", resp.StatusCode, hits.Load())
+	}
+}
+
+// TestRetryExhaustsBudget: a server that never recovers gets exactly
+// `attempts` tries, and the terminal 5xx is returned for the caller's
+// apiError path rather than swallowed.
+func TestRetryExhaustsBudget(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	p, delays := instant(4)
+	resp, err := get(t, p, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway || hits.Load() != 4 {
+		t.Fatalf("status %d after %d requests, want 502 after 4", resp.StatusCode, hits.Load())
+	}
+	if want := []time.Duration{200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond}; len(*delays) != 3 ||
+		(*delays)[0] != want[0] || (*delays)[1] != want[1] || (*delays)[2] != want[2] {
+		t.Fatalf("delays %v, want %v", *delays, want)
+	}
+}
+
+// TestRetryBackoffCaps: the doubling stops at max.
+func TestRetryBackoffCaps(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	p, delays := instant(8)
+	p.max = 500 * time.Millisecond
+	resp, err := get(t, p, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for i, d := range *delays {
+		if d > p.max {
+			t.Fatalf("delay %d is %v, above the %v cap (all: %v)", i, d, p.max, *delays)
+		}
+	}
+	if last := (*delays)[len(*delays)-1]; last != p.max {
+		t.Fatalf("final delay %v never reached the %v cap", last, p.max)
+	}
+}
+
+// TestRetryStopsOnCancel: cancellation during backoff aborts immediately —
+// no further requests, context error out.
+func TestRetryStopsOnCancel(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &retryPolicy{
+		attempts: 4,
+		base:     10 * time.Second, // real sleep: only cancellation can end it quickly
+		max:      10 * time.Second,
+		notify:   func(error, time.Duration) { cancel() },
+	}
+	start := time.Now()
+	_, err := p.do(ctx, http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests after cancel, want 1", hits.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — the backoff sleep ignored it", elapsed)
+	}
+}
+
+// TestHalfJitterBounds: jitter keeps the delay in [d/2, d].
+func TestHalfJitterBounds(t *testing.T) {
+	const d = 400 * time.Millisecond
+	for i := 0; i < 256; i++ {
+		if j := halfJitter(d); j < d/2 || j > d {
+			t.Fatalf("halfJitter(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+		}
+	}
+}
+
+// TestSubmitJobRetriesAcrossBlip drives the real submitJob call site: the
+// POST body must be rebuilt per attempt, so the request that finally lands
+// carries the full spec even though earlier attempts consumed theirs.
+func TestSubmitJobRetriesAcrossBlip(t *testing.T) {
+	old := transientRetry
+	transientRetry.base = time.Millisecond
+	transientRetry.max = 2 * time.Millisecond
+	defer func() { transientRetry = old }()
+
+	var hits atomic.Int32
+	var lastBody atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, r.ContentLength)
+		r.Body.Read(body)
+		lastBody.Store(string(body))
+		if hits.Add(1) <= 2 {
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"id":"j000042","cells":1}`))
+	}))
+	defer ts.Close()
+
+	job, err := submitJob(context.Background(), ts.URL, experiment.Matrix{
+		NodeCounts: []int{8}, LossRates: []float64{0}, Iterations: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "j000042" {
+		t.Fatalf("job %+v", job)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+	if body, _ := lastBody.Load().(string); body == "" || body[0] != '{' {
+		t.Fatalf("retried POST body %q — not rebuilt for the retry", body)
+	}
+}

@@ -16,6 +16,19 @@
 // running jobs are re-queued as resumable, and a restarted sweepd picks
 // them up computing only the cells the previous process never finished.
 //
+// A sweep can also fan out across machines. One sweepd runs as the
+// coordinator and any number of others join it as workers:
+//
+//	sweepd -coordinator -addr :8080 -cache /shared/cache -store /var/lib/sweepd/store
+//	sweepd -join http://coord:8080 -name worker-1 -cache /shared/cache
+//
+// The coordinator partitions each job into shards, leases them to workers
+// over heartbeats, re-queues a shard (with exponential backoff) when its
+// worker's lease expires, and merges the rows workers stream back — the
+// job's result stream stays byte-identical to a solo run. -chaos injects
+// worker-side faults (heartbeat drops, delays, mid-shard crashes) for
+// testing the fault-tolerance machinery.
+//
 // Submit from the experiments CLI with
 //
 //	experiments -panel matrix -nodes 15,25 -server http://localhost:8080 -out jsonl
@@ -59,12 +72,20 @@ func run(args []string) error {
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
 		cacheDir   = fs.String("cache", "", "content-addressed result cache directory shared by every job (required)")
-		storeDir   = fs.String("store", "", "durable job/result store directory (required)")
+		storeDir   = fs.String("store", "", "durable job/result store directory (required unless -join)")
 		workers    = fs.Int("workers", 0, "cell workers shared by all active jobs (0: GOMAXPROCS)")
 		lanes      = fs.Int("lanes", 0, "bit-sliced trial batch width 1..64 (0: default 64; results are identical for any width)")
 		maxActive  = fs.Int("max-active-jobs", 0, "jobs holding Runners at once; cells interleave fairly across them (0: default 4)")
 		retainJobs = fs.Int("retain-jobs", 0, "keep at most N terminal jobs; older ones and their unreferenced rows are pruned at checkpoint (0: keep all)")
 		retainAge  = fs.Duration("retain-age", 0, "prune terminal jobs not updated within this duration, e.g. 720h (0: keep forever)")
+
+		coordinator = fs.Bool("coordinator", false, "dispatch jobs to joined workers instead of executing locally")
+		join        = fs.String("join", "", "run as a worker for the coordinator at this URL instead of serving HTTP")
+		name        = fs.String("name", "", "worker name reported to the coordinator (default: host:pid; -join only)")
+		lease       = fs.Duration("lease", 0, "worker lease TTL; a worker silent this long forfeits its shards (0: default 15s; -coordinator only)")
+		maxAttempts = fs.Int("max-attempts", 0, "grants per shard before the job fails with a shard error (0: default 5; -coordinator only)")
+		chaosSpec   = fs.String("chaos", "", `inject worker faults, e.g. "hbdrop=0.5,delay=200ms,crash=0.02" (-join only)`)
+		chaosSeed   = fs.Int64("chaos-seed", 1, "seed for the -chaos injection schedule")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,11 +93,29 @@ func run(args []string) error {
 	if *cacheDir == "" {
 		return fmt.Errorf("-cache is required (the shared result corpus)")
 	}
+	if *join != "" {
+		if *coordinator {
+			return fmt.Errorf("-join and -coordinator are mutually exclusive (a worker executes, a coordinator dispatches)")
+		}
+		if *storeDir != "" {
+			return fmt.Errorf("-store is a coordinator/server concern; a -join worker keeps no store")
+		}
+		return runWorker(*join, *name, *cacheDir, *workers, *lanes, *chaosSpec, *chaosSeed)
+	}
+	if *chaosSpec != "" {
+		return fmt.Errorf("-chaos injects worker faults and needs -join")
+	}
 	if *storeDir == "" {
 		return fmt.Errorf("-store is required (jobs and results must survive restarts)")
 	}
 	if *retainJobs < 0 || *retainAge < 0 {
 		return fmt.Errorf("-retain-jobs and -retain-age must be >= 0")
+	}
+	if *lease < 0 {
+		return fmt.Errorf("-lease must be >= 0")
+	}
+	if *maxAttempts < 0 {
+		return fmt.Errorf("-max-attempts must be >= 0")
 	}
 
 	st, err := store.Open(*storeDir)
@@ -87,11 +126,14 @@ func run(args []string) error {
 	st.Retention = store.RetentionPolicy{MaxJobs: *retainJobs, MaxAge: *retainAge}
 
 	svc, err := service.New(service.Config{
-		Store:         st,
-		CacheDir:      *cacheDir,
-		Workers:       *workers,
-		Lanes:         *lanes,
-		MaxActiveJobs: *maxActive,
+		Store:            st,
+		CacheDir:         *cacheDir,
+		Workers:          *workers,
+		Lanes:            *lanes,
+		MaxActiveJobs:    *maxActive,
+		Coordinator:      *coordinator,
+		LeaseTTL:         *lease,
+		MaxShardAttempts: *maxAttempts,
 	})
 	if err != nil {
 		return err
@@ -113,7 +155,11 @@ func run(args []string) error {
 		return err
 	}
 	svc.Start()
-	fmt.Fprintf(os.Stderr, "sweepd: listening on %s (store %s, cache %s)\n", ln.Addr(), *storeDir, *cacheDir)
+	role := "local execution"
+	if *coordinator {
+		role = "coordinator"
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s (%s, store %s, cache %s)\n", ln.Addr(), role, *storeDir, *cacheDir)
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
@@ -140,4 +186,40 @@ func run(args []string) error {
 		svc.Close()
 		return err
 	}
+}
+
+// runWorker is the -join path: no HTTP listener, no store — just a Worker
+// heartbeating against the coordinator and executing the shards it is
+// granted, until SIGINT/SIGTERM. In-flight shards are abandoned on exit
+// (their completed cells are in the cache); the coordinator's lease expiry
+// re-queues them.
+func runWorker(coordURL, name, cacheDir string, workers, lanes int, chaosSpec string, chaosSeed int64) error {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	var chaos *service.Chaos
+	if chaosSpec != "" {
+		var err error
+		if chaos, err = service.ParseChaos(chaosSpec, chaosSeed); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweepd: chaos enabled: %s (seed %d)\n", chaosSpec, chaosSeed)
+	}
+	w, err := service.NewWorker(service.WorkerConfig{
+		Coordinator: coordURL,
+		Name:        name,
+		CacheDir:    cacheDir,
+		Workers:     workers,
+		Lanes:       lanes,
+		Chaos:       chaos,
+		Log:         os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "sweepd: worker %q joining %s (cache %s)\n", name, coordURL, cacheDir)
+	return w.Run(ctx)
 }

@@ -25,6 +25,25 @@ func TestRunRequiresDirs(t *testing.T) {
 		{"cache only", []string{"-cache", t.TempDir()}, "-store"},
 		{"store only", []string{"-store", t.TempDir()}, "-cache"},
 		{"bad flag", []string{"-bogus"}, "bogus"},
+		{"join needs cache", []string{"-join", "http://coord:8080"}, "-cache"},
+		{"join excludes coordinator",
+			[]string{"-join", "http://coord:8080", "-cache", t.TempDir(), "-coordinator"},
+			"mutually exclusive"},
+		{"join excludes store",
+			[]string{"-join", "http://coord:8080", "-cache", t.TempDir(), "-store", t.TempDir()},
+			"worker keeps no store"},
+		{"chaos needs join",
+			[]string{"-cache", t.TempDir(), "-store", t.TempDir(), "-chaos", "hbdrop=0.5"},
+			"-join"},
+		{"bad chaos spec",
+			[]string{"-join", "http://coord:8080", "-cache", t.TempDir(), "-chaos", "explode=1"},
+			"chaos"},
+		{"negative lease",
+			[]string{"-cache", t.TempDir(), "-store", t.TempDir(), "-lease", "-1s"},
+			"-lease"},
+		{"negative max-attempts",
+			[]string{"-cache", t.TempDir(), "-store", t.TempDir(), "-max-attempts", "-1"},
+			"-max-attempts"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -58,6 +58,15 @@ func (s ShardSpec) Validate() error {
 // sharded reports whether the spec restricts execution to a proper subset.
 func (s ShardSpec) sharded() bool { return s.Total > 1 }
 
+// Range returns the half-open cell-index range [lo, hi) the (normalized)
+// spec owns over n cells — Partition without the caller having to normalize
+// the zero value first. The dispatch layers on both sides of a distributed
+// sweep use it to agree on which rows a shard must produce.
+func (s ShardSpec) Range(n int) (lo, hi int) {
+	ns := s.normalized()
+	return Partition(n, ns.Shard, ns.Total)
+}
+
 // Partition returns the half-open cell-index range [lo, hi) owned by shard
 // `shard` of `total` over n cells: contiguous ranges in shard order, sizes
 // differing by at most one, with the n%total remainder cells going to the

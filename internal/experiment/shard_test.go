@@ -456,3 +456,18 @@ func TestMergeShardsValidation(t *testing.T) {
 		t.Fatal("merge of an empty cache succeeded")
 	}
 }
+
+// TestShardSpecRange: Range is Partition over the normalized spec — the
+// zero value owns the whole index space.
+func TestShardSpecRange(t *testing.T) {
+	if lo, hi := (ShardSpec{}).Range(7); lo != 0 || hi != 7 {
+		t.Fatalf("zero spec range [%d,%d), want [0,7)", lo, hi)
+	}
+	for shard := 0; shard < 3; shard++ {
+		wantLo, wantHi := Partition(10, shard, 3)
+		lo, hi := ShardSpec{Shard: shard, Total: 3}.Range(10)
+		if lo != wantLo || hi != wantHi {
+			t.Errorf("shard %d/3 range [%d,%d), want [%d,%d)", shard, lo, hi, wantLo, wantHi)
+		}
+	}
+}

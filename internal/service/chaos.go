@@ -1,0 +1,107 @@
+package service
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Chaos is the worker-side fault injector behind sweepd's -chaos flag: the
+// controlled way to manufacture exactly the failures the coordinator's
+// lease/re-queue machinery must absorb. Probabilities draw from a seeded
+// generator so a chaos schedule is reproducible run to run.
+type Chaos struct {
+	// HeartbeatDrop is the probability a heartbeat tick is silently skipped
+	// — the network-partition / packet-loss failure mode. Drop enough in a
+	// row and the worker's lease expires under it.
+	HeartbeatDrop float64
+	// Delay is added before every call to the coordinator — the slow-worker
+	// failure mode.
+	Delay time.Duration
+	// CrashRate is the probability, evaluated after each completed cell,
+	// that the worker dies on the spot (exit code 137, as if killed -9) —
+	// the mid-shard crash failure mode.
+	CrashRate float64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	crash func() // overridable so tests observe the crash instead of dying
+}
+
+// ParseChaos parses a -chaos spec: comma-separated key=value pairs from
+// hbdrop=P, delay=DUR, crash=P, e.g. "hbdrop=0.5,delay=200ms,crash=0.02".
+// The seed fixes the injection schedule.
+func ParseChaos(spec string, seed int64) (*Chaos, error) {
+	c := &Chaos{
+		rng:   rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)),
+		crash: func() { os.Exit(137) },
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: %q is not key=value", part)
+		}
+		switch key {
+		case "hbdrop", "crash":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("chaos: %s=%q: need a probability in [0,1]", key, val)
+			}
+			if key == "hbdrop" {
+				c.HeartbeatDrop = p
+			} else {
+				c.CrashRate = p
+			}
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("chaos: delay=%q: need a non-negative duration", val)
+			}
+			c.Delay = d
+		default:
+			return nil, fmt.Errorf("chaos: unknown key %q (want hbdrop, delay, crash)", key)
+		}
+	}
+	return c, nil
+}
+
+// draw samples one uniform [0,1) variate. Nil receiver draws nothing.
+func (c *Chaos) draw() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// dropHeartbeat reports whether this heartbeat tick should be skipped.
+func (c *Chaos) dropHeartbeat() bool {
+	if c == nil || c.HeartbeatDrop == 0 {
+		return false
+	}
+	return c.draw() < c.HeartbeatDrop
+}
+
+// sleep injects the configured delay before a coordinator call.
+func (c *Chaos) sleep() {
+	if c != nil && c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
+}
+
+// maybeCrash kills the worker with probability CrashRate — called after
+// each completed cell, i.e. mid-shard.
+func (c *Chaos) maybeCrash() {
+	if c == nil || c.CrashRate == 0 {
+		return
+	}
+	if c.draw() < c.CrashRate {
+		c.crash()
+	}
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("hbdrop=0.5,delay=200ms,crash=0.02", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HeartbeatDrop != 0.5 || c.Delay != 200*time.Millisecond || c.CrashRate != 0.02 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c, err := ParseChaos("", 1); err != nil || c.HeartbeatDrop != 0 || c.CrashRate != 0 || c.Delay != 0 {
+		t.Fatalf("empty spec: %+v %v", c, err)
+	}
+	for _, bad := range []string{"hbdrop=2", "crash=-1", "delay=fast", "explode=0.5", "hbdrop"} {
+		if _, err := ParseChaos(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestChaosScheduleIsSeeded: the same seed draws the same injection
+// schedule — what makes a chaos failure reproducible.
+func TestChaosScheduleIsSeeded(t *testing.T) {
+	draw := func(seed int64) []bool {
+		c, _ := ParseChaos("hbdrop=0.5", seed)
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = c.dropHeartbeat()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+// TestChaosHeartbeatDropsStillComplete: a worker dropping half its
+// heartbeats keeps its lease (the surviving heartbeats renew in time) and
+// the job completes byte-identically — graceful degradation, not failure.
+func TestChaosHeartbeatDropsStillComplete(t *testing.T) {
+	f := newCoordFixture(t, t.TempDir(), t.TempDir(), nil)
+	chaos, err := ParseChaos("hbdrop=0.5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWorker(t, f, "flaky", t.TempDir(), chaos)
+	m := testMatrix()
+	done := f.waitDone(t, f.submit(t, m).ID)
+	if done.Completed != 4 {
+		t.Fatalf("completed %d of 4: %+v", done.Completed, done)
+	}
+	if got, want := f.results(t, done.ID), localJSONL(t, m); !bytes.Equal(got, want) {
+		t.Fatal("results under heartbeat drops differ from solo run")
+	}
+}
+
+// TestChaosCrashMidShard: a worker configured to die after its first
+// completed cell (crash=1) takes a shard down with it; the lease expires
+// and a healthy worker sharing the cache finishes the job, resuming the
+// dead worker's completed cells instead of recomputing them.
+func TestChaosCrashMidShard(t *testing.T) {
+	f := newCoordFixture(t, t.TempDir(), t.TempDir(), nil)
+	shared := t.TempDir()
+
+	// The crash hook normally calls os.Exit(137); in-process it kills the
+	// worker's context, which stops heartbeats and executions alike.
+	ctx, kill := context.WithCancel(context.Background())
+	chaos, err := ParseChaos("crash=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.crash = kill
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:    f.ts.URL,
+		Name:           "doomed",
+		CacheDir:       shared,
+		HeartbeatEvery: 20 * time.Millisecond,
+		Chaos:          chaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := make(chan struct{})
+	go func() {
+		defer close(crashed)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() { kill(); <-crashed })
+
+	m := testMatrix()
+	job := f.submit(t, m)
+	// Let the doomed worker take the whole matrix (it is the only worker,
+	// so the job dispatches as one shard) and die mid-shard.
+	<-crashed
+
+	// A healthy worker on the SAME cache inherits the shard and resumes.
+	startWorker(t, f, "healthy", shared, nil)
+	done := f.waitDone(t, job.ID)
+	if done.Completed != 4 {
+		t.Fatalf("completed %d of 4: %+v", done.Completed, done)
+	}
+	// The doomed worker computed at least its first cell before dying; the
+	// heir must inherit it from the shared cache, not recompute it.
+	if done.Resumed+done.CacheHits < 1 {
+		t.Fatalf("crashed worker's cells recomputed: %+v", done)
+	}
+	if got, want := f.results(t, job.ID), localJSONL(t, m); !bytes.Equal(got, want) {
+		t.Fatal("results after mid-shard crash differ from solo run")
+	}
+}

@@ -56,6 +56,24 @@ type Config struct {
 	// jobs means fairer latency for short jobs but more memory held per
 	// sweep; zero selects 4.
 	MaxActiveJobs int
+	// Coordinator switches job execution from the local Runner to
+	// distributed dispatch: jobs are partitioned into shard assignments and
+	// executed by worker sweepds that register over POST /v1/workers (see
+	// dispatch.go). The store persists assignments, so a restarted
+	// coordinator resumes dispatch without recomputing finished shards.
+	Coordinator bool
+	// LeaseTTL bounds how long a worker may go silent before its lease
+	// expires and its shards are re-queued elsewhere; zero selects 15s.
+	// LeaseScanEvery is the expiry-scan cadence; zero selects LeaseTTL/4.
+	LeaseTTL       time.Duration
+	LeaseScanEvery time.Duration
+	// ShardBackoffBase and ShardBackoffMax shape the exponential backoff
+	// between attempts of a repeatedly-failing shard (zero: 1s base, 30s
+	// cap), and MaxShardAttempts caps grants per shard before the job fails
+	// with a ShardError naming the shard (zero: 5).
+	ShardBackoffBase time.Duration
+	ShardBackoffMax  time.Duration
+	MaxShardAttempts int
 }
 
 // maxSpecBytes bounds a POST /v1/jobs body; a matrix spec is a few hundred
@@ -84,6 +102,7 @@ type Server struct {
 	hub    *hub
 	mux    *http.ServeMux
 	pool   *pool
+	disp   *dispatcher // non-nil exactly when cfg.Coordinator
 	wake   chan struct{}
 	slots  chan struct{}
 	ctx    context.Context
@@ -127,6 +146,9 @@ func New(cfg Config) (*Server, error) {
 		ctx:     ctx,
 		cancel:  cancel,
 		running: make(map[string]*activeJob),
+	}
+	if cfg.Coordinator {
+		s.disp = newDispatcher(cfg)
 	}
 	for _, job := range cfg.Store.Jobs() {
 		// Recovery: a job that was Running when the previous process stopped
@@ -176,6 +198,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// The distributed-dispatch surface. Registered unconditionally so a
+	// worker joining a non-coordinator gets a crisp 409 instead of a 404
+	// indistinguishable from a typoed path.
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	s.mux.HandleFunc("POST /v1/workers/{id}/shards/{job}/{shard}/rows", s.handleShardRows)
+	s.mux.HandleFunc("POST /v1/workers/{id}/shards/{job}/{shard}/done", s.handleShardDone)
 	// The pre-v1 surface: thin aliases kept for one release so existing
 	// scripts keep working. They answer with a Deprecation header pointing
 	// at the v1 successor.
@@ -197,10 +226,19 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start launches the scheduler goroutine.
+// Start launches the scheduler goroutine, plus the lease-expiry scan when
+// running as a coordinator.
 func (s *Server) Start() {
 	s.wg.Add(1)
 	go s.runLoop()
+	if s.disp != nil {
+		every := s.cfg.LeaseScanEvery
+		if every <= 0 {
+			every = s.disp.leaseTTL / 4
+		}
+		s.wg.Add(1)
+		go s.scanLoop(every)
+	}
 }
 
 // Close drains the service: every in-flight job's Runner context is canceled
@@ -307,6 +345,9 @@ func (s *Server) runJob(id string) error {
 	if err := json.Unmarshal(job.Spec, &m); err != nil {
 		s.unclaim(id)
 		return s.finishJob(id, store.Failed, fmt.Sprintf("decode stored spec: %v", err), nil)
+	}
+	if s.disp != nil {
+		return s.runJobDispatch(id, aj, job, m)
 	}
 	sink := &storeSink{store: s.cfg.Store, hub: s.hub, jobID: id}
 	queue := s.pool.admit(id)
@@ -594,7 +635,10 @@ const eventsPollInterval = time.Second
 // handleEvents streams a job's lifecycle as server-sent events: an initial
 // "state" snapshot, "progress" per completed cell, and a final "state" when
 // the job reaches a terminal state — done, failed, or canceled — which also
-// ends the stream.
+// ends the stream. Hub-published events carry "id:" lines; a reconnecting
+// client that sends the standard Last-Event-ID header gets the events it
+// missed replayed from the hub's ring instead of silently losing them, or —
+// when the gap outran the ring — a fresh state snapshot to resynchronize.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.cfg.Store.Job(id)
@@ -607,24 +651,62 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, codeInternal, "", "streaming unsupported")
 		return
 	}
+	var lastID uint64
+	resuming := false
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			lastID, resuming = n, true
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 
+	sent := lastID // highest hub id delivered; dedups replay vs. live queue
 	writeEvent := func(ev event) {
+		if ev.id > 0 {
+			if ev.id <= sent {
+				return
+			}
+			sent = ev.id
+			fmt.Fprintf(w, "id: %d\n", ev.id)
+		}
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
 		flusher.Flush()
 	}
+	snapshot := func(j store.Job) {
+		if data, err := json.Marshal(j); err == nil {
+			writeEvent(event{name: "state", data: data})
+		}
+	}
 
-	// Subscribe BEFORE the initial snapshot: anything published after the
-	// snapshot is either in the queue or reflected by the poll.
+	// Subscribe BEFORE the snapshot/replay: anything published afterwards
+	// is either in the queue or reflected by the poll, and the `sent`
+	// cursor drops whatever both paths deliver.
 	sub := s.hub.subscribe(id)
 	defer s.hub.unsubscribe(id, sub)
-	if data, err := json.Marshal(job); err == nil {
-		writeEvent(event{name: "state", data: data})
-	}
-	if job.State.Terminal() {
-		return
+	if resuming {
+		missed, gap := s.hub.replay(id, lastID)
+		if gap {
+			// Continuity lost (ring outrun, or a coordinator restart reset
+			// the sequence): resynchronize with the current state.
+			snapshot(job)
+		}
+		for _, ev := range missed {
+			writeEvent(ev)
+		}
+		if j, ok := s.cfg.Store.Job(id); ok && j.State.Terminal() {
+			// The replayed tail may predate the terminal transition; an
+			// unconditional snapshot makes its delivery certain (a duplicate
+			// state event is an idempotent re-read for the client).
+			snapshot(j)
+			return
+		}
+	} else {
+		snapshot(job)
+		if job.State.Terminal() {
+			return
+		}
 	}
 	ticker := time.NewTicker(eventsPollInterval)
 	defer ticker.Stop()
@@ -647,24 +729,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if j.State.Terminal() {
-				if data, err := json.Marshal(j); err == nil {
-					writeEvent(event{name: "state", data: data})
-				}
+				snapshot(j)
 				return
 			}
 		}
 	}
 }
 
-// healthz is the GET /v1/healthz body.
+// healthz is the GET /v1/healthz body. QueuedDepth and ActiveJobs give the
+// scheduler's backlog at a glance; Workers (coordinator only) lists every
+// live registration with its remaining lease and held shards, so a
+// deployment that has lost its workers is visible before jobs start timing
+// out — that condition also flips Status to "degraded".
 type healthz struct {
-	Status    string              `json:"status"`
-	Cache     cache.Stats         `json:"cache"`
-	Jobs      map[store.State]int `json:"jobs"`
-	StoreRows int                 `json:"storeRows"`
+	Status      string              `json:"status"`
+	Cache       cache.Stats         `json:"cache"`
+	Jobs        map[store.State]int `json:"jobs"`
+	StoreRows   int                 `json:"storeRows"`
+	QueuedDepth int                 `json:"queuedDepth"`
+	ActiveJobs  int                 `json:"activeJobs"`
+	Workers     []workerHealth      `json:"workers,omitempty"`
+	Coordinator bool                `json:"coordinator,omitempty"`
 }
 
-// handleHealthz reports liveness plus the cache and store footprint.
+// handleHealthz reports liveness plus the cache, store, scheduler, and —
+// on a coordinator — worker-registry footprint.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	stats, err := s.cache.Stats()
 	if err != nil {
@@ -674,6 +763,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := healthz{Status: "ok", Cache: stats, Jobs: make(map[store.State]int), StoreRows: s.cfg.Store.RowCount()}
 	for _, job := range s.cfg.Store.Jobs() {
 		h.Jobs[job.State]++
+	}
+	h.QueuedDepth = h.Jobs[store.Queued]
+	h.ActiveJobs = h.Jobs[store.Running]
+	if s.disp != nil {
+		h.Coordinator = true
+		workers, dispatching := s.disp.health()
+		h.Workers = workers
+		if dispatching > 0 && len(workers) == 0 {
+			// Jobs are waiting on workers that do not exist: alive, but not
+			// making progress.
+			h.Status = "degraded"
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }

@@ -105,7 +105,43 @@ type Job struct {
 
 // SchemaVersion stamps every snapshot this code writes. Bump it when the
 // snapshot layout changes, and register the upgrade in migrations.
-const SchemaVersion = 2
+const SchemaVersion = 3
+
+// Shard assignment states: a distributed job's shard is waiting for a
+// worker, leased to one, or finished. There is no terminal failure state at
+// the shard level — a failed attempt goes back to Pending with its attempt
+// counter bumped, and the ATTEMPT CAP failing the whole job is the
+// coordinator's policy, not the store's.
+const (
+	ShardPending  = "pending"
+	ShardAssigned = "assigned"
+	ShardDone     = "done"
+)
+
+// ShardAssignment is one shard of a distributed job's dispatch state: which
+// contiguous Partition slice it is (Shard/Total), where it is in the
+// pending → assigned → done machine, which worker leases it, and the
+// retry/backoff bookkeeping that survives a coordinator restart (schema 3).
+// Times are unix milliseconds — lease windows are sub-second in tests.
+type ShardAssignment struct {
+	Shard int    `json:"shard"`
+	Total int    `json:"total"`
+	State string `json:"state"`
+	// Worker is the lease holder while State is ShardAssigned, and the
+	// worker whose completion report closed the shard once ShardDone.
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts executions so far: lease expiries and worker-reported
+	// failures both bump it; the coordinator fails the job when it hits the
+	// attempt cap.
+	Attempts int `json:"attempts,omitempty"`
+	// LeaseDeadline is when the current lease lapses (State ShardAssigned).
+	LeaseDeadline int64 `json:"leaseDeadline,omitempty"`
+	// NextEligible gates re-dispatch of a Pending shard: the exponential
+	// backoff (with jitter) after a failed attempt.
+	NextEligible int64 `json:"nextEligible,omitempty"`
+	// Error is the most recent failure cause (lease expiry, worker report).
+	Error string `json:"error,omitempty"`
+}
 
 // snapshot is the on-disk checkpoint: full store state at one WAL horizon.
 type snapshot struct {
@@ -116,6 +152,10 @@ type snapshot struct {
 	// emit, in index order — the reference edges garbage collection marks
 	// from (schema 2).
 	JobKeys map[string][]string `json:"jobKeys,omitempty"`
+	// Assignments maps a job ID to its distributed-dispatch shard state, so
+	// a coordinator restart resumes dispatch without recomputing finished
+	// shards (schema 3).
+	Assignments map[string][]ShardAssignment `json:"assignments,omitempty"`
 }
 
 // migrations upgrades a decoded snapshot one schema step at a time: the
@@ -138,20 +178,33 @@ var migrations = map[int]func(*snapshot){
 		}
 		s.Schema = 2
 	},
+	// Schema 2 predates distributed dispatch: no shard assignments. A
+	// migrated job simply has none, which the coordinator treats as "never
+	// dispatched" and partitions afresh when it claims the job.
+	2: func(s *snapshot) {
+		if s.Assignments == nil {
+			s.Assignments = map[string][]ShardAssignment{}
+		}
+		s.Schema = 3
+	},
 }
 
 // record is one WAL entry. Op "job" upserts a full job record (idempotent,
 // last writer wins — replay order is append order); op "row" upserts one
 // result row; op "keys" records a job's row-key list (ID + Keys fields) —
 // the durable form of SetJobKeys, and the record a cancel rides on is a
-// plain op "job" carrying the canceled state.
+// plain op "job" carrying the canceled state. Op "assign" upserts a job's
+// full shard-assignment list (ID + Assign) — whole-list replacement keeps
+// replay trivially idempotent, and a job's list is at most a handful of
+// entries.
 type record struct {
-	Op   string          `json:"op"`
-	Job  *Job            `json:"job,omitempty"`
-	Key  string          `json:"key,omitempty"`
-	Row  json.RawMessage `json:"row,omitempty"`
-	ID   string          `json:"id,omitempty"`
-	Keys []string        `json:"keys,omitempty"`
+	Op     string            `json:"op"`
+	Job    *Job              `json:"job,omitempty"`
+	Key    string            `json:"key,omitempty"`
+	Row    json.RawMessage   `json:"row,omitempty"`
+	ID     string            `json:"id,omitempty"`
+	Keys   []string          `json:"keys,omitempty"`
+	Assign []ShardAssignment `json:"assign,omitempty"`
 }
 
 // defaultSnapshotEvery is how many WAL records accumulate before the store
@@ -186,15 +239,16 @@ type Store struct {
 	// the zero policy disables GC.
 	Retention RetentionPolicy
 
-	mu         sync.Mutex
-	dir        string
-	wal        *os.File
-	jobs       map[string]Job
-	rows       map[string]json.RawMessage
-	jobKeys    map[string][]string
-	walRecords int
-	seq        int
-	closed     bool
+	mu          sync.Mutex
+	dir         string
+	wal         *os.File
+	jobs        map[string]Job
+	rows        map[string]json.RawMessage
+	jobKeys     map[string][]string
+	assignments map[string][]ShardAssignment
+	walRecords  int
+	seq         int
+	closed      bool
 }
 
 func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
@@ -216,6 +270,7 @@ func Open(dir string) (*Store, error) {
 		jobs:          make(map[string]Job),
 		rows:          make(map[string]json.RawMessage),
 		jobKeys:       make(map[string][]string),
+		assignments:   make(map[string][]ShardAssignment),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
@@ -269,6 +324,9 @@ func (s *Store) loadSnapshot() error {
 	}
 	for id, keys := range snap.JobKeys {
 		s.jobKeys[id] = keys
+	}
+	for id, assigns := range snap.Assignments {
+		s.assignments[id] = assigns
 	}
 	return nil
 }
@@ -325,6 +383,10 @@ func (s *Store) apply(rec record) {
 	case "keys":
 		if rec.ID != "" {
 			s.jobKeys[rec.ID] = rec.Keys
+		}
+	case "assign":
+		if rec.ID != "" {
+			s.assignments[rec.ID] = rec.Assign
 		}
 	}
 }
@@ -406,6 +468,7 @@ func (s *Store) gc() (jobsPruned, rowsSwept int) {
 		if tooMany || tooOld {
 			delete(s.jobs, j.ID)
 			delete(s.jobKeys, j.ID)
+			delete(s.assignments, j.ID)
 			jobsPruned++
 		}
 	}
@@ -453,7 +516,8 @@ func (s *Store) GC() (jobsPruned, rowsSwept int, err error) {
 // and truncates the WAL. A crash between the rename and the truncate is
 // safe: replaying the old records onto the new snapshot is idempotent.
 func (s *Store) checkpoint() error {
-	snap := snapshot{Schema: SchemaVersion, Jobs: s.jobList(), Rows: s.rows, JobKeys: s.jobKeys}
+	snap := snapshot{Schema: SchemaVersion, Jobs: s.jobList(), Rows: s.rows,
+		JobKeys: s.jobKeys, Assignments: s.assignments}
 	raw, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: encode snapshot: %w", err)
@@ -579,6 +643,34 @@ func (s *Store) JobKeys(id string) ([]string, bool) {
 	defer s.mu.Unlock()
 	keys, ok := s.jobKeys[id]
 	return keys, ok
+}
+
+// SetAssignments durably replaces job id's shard-assignment list. sync
+// forces the record to disk before returning: the coordinator syncs when a
+// shard reaches ShardDone (losing done-ness to a crash would recompute the
+// shard) and lets lease renewals and grants ride the next synced append —
+// an assignment lost to a crash is merely re-dispatched.
+func (s *Store) SetAssignments(id string, assigns []ShardAssignment, sync bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return fmt.Errorf("store: no job %q", id)
+	}
+	cp := make([]ShardAssignment, len(assigns))
+	copy(cp, assigns)
+	return s.append(record{Op: "assign", ID: id, Assign: cp}, sync)
+}
+
+// Assignments returns a copy of job id's shard-assignment list, and whether
+// the job was ever dispatched (a job from before schema 3, or one always run
+// locally, has none).
+func (s *Store) Assignments(id string) ([]ShardAssignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	assigns, ok := s.assignments[id]
+	cp := make([]ShardAssignment, len(assigns))
+	copy(cp, assigns)
+	return cp, ok
 }
 
 // Job returns the job by ID.

@@ -520,3 +520,126 @@ func TestGCSurvivesReopen(t *testing.T) {
 		t.Fatalf("reopened with %d rows, want 1 (C)", n)
 	}
 }
+
+// TestSchemaTwoMigrationRoundTrip: a v2 snapshot (jobs + rows + jobKeys, no
+// assignments) opens, reports "never dispatched" for its jobs, and is
+// rewritten at the current schema with any assignments set after migration.
+func TestSchemaTwoMigrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	v2 := `{"schema":2,"jobs":[{"id":"j000005","state":"done","cells":2,"completed":2}],` +
+		`"rows":{"k1":{"v":1}},"jobKeys":{"j000005":["k1"]}}`
+	os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte(v2), 0o644)
+	s := openT(t, dir)
+	job, ok := s.Job("j000005")
+	if !ok || job.State != Done {
+		t.Fatalf("migrated job: ok=%v %+v", ok, job)
+	}
+	if keys, ok := s.JobKeys("j000005"); !ok || len(keys) != 1 {
+		t.Fatalf("migrated keys: ok=%v %v", ok, keys)
+	}
+	// Migrated jobs were never dispatched under the distributed scheme.
+	if _, ok := s.Assignments("j000005"); ok {
+		t.Fatal("migration invented shard assignments")
+	}
+	assigns := []ShardAssignment{
+		{Shard: 0, Total: 2, State: ShardDone, Worker: "w1", Attempts: 1},
+		{Shard: 1, Total: 2, State: ShardPending, Attempts: 2, NextEligible: 12345},
+	}
+	if err := s.SetAssignments("j000005", assigns, true); err != nil {
+		t.Fatalf("set assignments: %v", err)
+	}
+	s.Close()
+
+	raw, _ := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	var snap struct {
+		Schema      int                          `json:"schema"`
+		Assignments map[string][]ShardAssignment `json:"assignments"`
+	}
+	json.Unmarshal(raw, &snap)
+	if snap.Schema != SchemaVersion {
+		t.Fatalf("rewritten snapshot schema %d, want %d", snap.Schema, SchemaVersion)
+	}
+	if got := snap.Assignments["j000005"]; len(got) != 2 || got[1].NextEligible != 12345 {
+		t.Fatalf("assignments not in snapshot: %+v", snap.Assignments)
+	}
+	r := openT(t, dir)
+	defer r.Close()
+	got, ok := r.Assignments("j000005")
+	if !ok || len(got) != 2 || got[0].State != ShardDone || got[0].Worker != "w1" {
+		t.Fatalf("assignments after round-trip: ok=%v %+v", ok, got)
+	}
+}
+
+// TestAssignmentsWALReplay: assignment updates are whole-list replacements
+// and durable through the raw WAL — the coordinator-killed-mid-dispatch
+// signature. The last write wins on replay.
+func TestAssignmentsWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	job, _ := s.CreateJob(json.RawMessage(`{}`), 4)
+	first := []ShardAssignment{
+		{Shard: 0, Total: 2, State: ShardAssigned, Worker: "w1", Attempts: 1, LeaseDeadline: 99},
+		{Shard: 1, Total: 2, State: ShardPending},
+	}
+	if err := s.SetAssignments(job.ID, first, false); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	second := []ShardAssignment{
+		{Shard: 0, Total: 2, State: ShardDone, Worker: "w1", Attempts: 1},
+		{Shard: 1, Total: 2, State: ShardAssigned, Worker: "w2", Attempts: 1, LeaseDeadline: 200},
+	}
+	if err := s.SetAssignments(job.ID, second, true); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	// Mutating the caller's slice after the call must not leak into the store.
+	second[0].State = ShardPending
+	if err := s.SetAssignments("j424242", first, false); err == nil {
+		t.Error("assignments for missing job accepted")
+	}
+	s.wal.Close() // crash-style: replay must come from the WAL
+
+	r := openT(t, dir)
+	defer r.Close()
+	got, ok := r.Assignments(job.ID)
+	if !ok || len(got) != 2 {
+		t.Fatalf("replayed assignments: ok=%v %+v", ok, got)
+	}
+	if got[0].State != ShardDone || got[1].Worker != "w2" || got[1].LeaseDeadline != 200 {
+		t.Fatalf("replay lost the last write: %+v", got)
+	}
+	// Reads hand out copies, not the live slice.
+	got[0].State = ShardPending
+	again, _ := r.Assignments(job.ID)
+	if again[0].State != ShardDone {
+		t.Fatal("Assignments returned the live slice")
+	}
+}
+
+// TestGCPrunesAssignments: a pruned job's shard assignments go with it —
+// they are per-job dispatch state, not shared like rows.
+func TestGCPrunesAssignments(t *testing.T) {
+	dir := t.TempDir()
+	s, jobs := gcFixture(t, dir)
+	defer s.Close()
+	for _, j := range jobs {
+		if err := s.SetAssignments(j.ID, []ShardAssignment{{Shard: 0, Total: 1, State: ShardDone}}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Retention = RetentionPolicy{MaxJobs: 1}
+	if _, _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Assignments(jobs[0].ID); ok {
+		t.Error("pruned job kept its assignments")
+	}
+	if _, ok := s.Assignments(jobs[2].ID); !ok {
+		t.Error("surviving job lost its assignments")
+	}
+	s.Close()
+	r := openT(t, dir)
+	defer r.Close()
+	if _, ok := r.Assignments(jobs[0].ID); ok {
+		t.Error("pruned assignments resurrected on reopen")
+	}
+}
